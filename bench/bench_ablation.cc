@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation study of the optimizer design choices called out in
+ * DESIGN.md (not a paper figure — supporting evidence for the
+ * reproduction's engineering decisions):
+ *
+ *  - feasibility projection of the log-space iterates (vs the Eq 18
+ *    penalty acting alone),
+ *  - greedy restart from the best rounded design after a regression,
+ *  - the within-segment learning-rate decay schedule,
+ *  - single vs multi start points.
+ *
+ * Each variant runs the open co-search on ResNet-50 and BERT; lower
+ * final EDP is better.
+ */
+
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/dosa_optimizer.hh"
+#include "stats/stats.hh"
+#include "workload/model_zoo.hh"
+
+using namespace dosa;
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::parseScale(argc, argv);
+    bench::banner("Ablation: DOSA optimizer design choices", scale);
+
+    const int runs = scale.pick(2, 3);
+    const int starts = scale.pick(5, 7);
+    const int steps = scale.pick(900, 1490);
+
+    struct Variant
+    {
+        const char *name;
+        bool project;
+        bool restart_best;
+        double lr;
+        double lr_decay;
+        int start_points;
+    };
+    const Variant variants[] = {
+        {"full (reference)", true, true, 0.02, 0.3, starts},
+        {"no projection", false, true, 0.02, 0.3, starts},
+        {"no greedy restart", true, false, 0.02, 0.3, starts},
+        {"no lr decay", true, true, 0.02, 1.0, starts},
+        {"high lr (0.05)", true, true, 0.05, 0.3, starts},
+        {"single start", true, true, 0.02, 0.3, 1},
+    };
+
+    TablePrinter table({"workload", "variant", "mean best EDP",
+                        "vs full"});
+    for (const char *wl : {"resnet50", "bert"}) {
+        Network net = networkByName(wl);
+        double full_edp = 0.0;
+        for (const Variant &v : variants) {
+            std::vector<double> bests;
+            for (int run = 0; run < runs; ++run) {
+                DosaConfig cfg;
+                cfg.start_points = v.start_points;
+                cfg.steps_per_start = steps;
+                cfg.round_every = 300;
+                cfg.lr = v.lr;
+                cfg.lr_decay = v.lr_decay;
+                cfg.project_feasible = v.project;
+                cfg.restart_from_best = v.restart_best;
+                cfg.seed = scale.seed + 97 * uint64_t(run);
+                bests.push_back(
+                        dosaSearch(net.layers, cfg).search.best_edp);
+            }
+            double g = geomean(bests);
+            if (std::string(v.name) == "full (reference)")
+                full_edp = g;
+            table.addRow({wl, v.name, fmtSci(g, 3),
+                    fmt(g / full_edp, 2) + "x"});
+        }
+    }
+    table.print();
+    bench::note(">1x means the ablated variant is worse. Multi-start "
+                "and a moderate, decayed learning rate carry the most "
+                "weight in open co-search; the feasibility projection "
+                "mainly stabilizes single-start and fixed-PE runs "
+                "(see DESIGN.md).");
+    table.writeCsv("bench_ablation.csv");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 4 reproduction: error of the DOSA differentiable model
+ * against the Timeloop-substitute reference model, over random
+ * Gemmini configurations x unique training layers x random mappings.
+ *
+ * Paper: latency MAE 0.01%, energy MAE 0.18%, EDP MAE 0.18%; 98.3% of
+ * points within 1%; up to ~12% error on very small layers, caused by
+ * DRAM block-ceiling energy accounting.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "bench/common.hh"
+#include "model/analytical.hh"
+#include "model/reference.hh"
+#include "search/search_common.hh"
+#include "stats/stats.hh"
+#include "util/rng.hh"
+#include "workload/model_zoo.hh"
+
+using namespace dosa;
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::parseScale(argc, argv);
+    bench::banner("Figure 4: differentiable model vs reference "
+                  "(Timeloop substitute)", scale);
+
+    const int num_configs = scale.pick(20, 100);
+    const int maps_per_config = scale.pick(25, 100);
+
+    std::vector<Layer> layers = uniqueTrainingLayers();
+    std::printf("layers: %zu unique, configs: %d, total mappings: %d\n",
+            layers.size(), num_configs, num_configs * maps_per_config);
+
+    Rng rng(scale.seed);
+    std::vector<double> lat_model, lat_ref, en_model, en_ref, edp_model,
+            edp_ref;
+    std::vector<double> small_layer_err; // error on tiny-energy layers
+
+    for (int cfg_i = 0; cfg_i < num_configs; ++cfg_i) {
+        HardwareConfig hw = randomHardware(rng);
+        for (int s = 0; s < maps_per_config; ++s) {
+            const Layer &l = layers[size_t(rng.uniformInt(0,
+                    static_cast<int64_t>(layers.size()) - 1))];
+            Mapping m = randomValidMapping(l, hw, rng, 16);
+            RefEval ref = referenceEval(l, m, hw);
+
+            Factors<double> f = m.continuousFactors();
+            LayerCounts<double> c = computeCounts(l, f, m.order);
+            LayerPerf<double> perf =
+                    computePerf(c, hwScalars<double>(hw));
+
+            lat_model.push_back(perf.latency);
+            lat_ref.push_back(ref.latency);
+            en_model.push_back(perf.energy_uj);
+            en_ref.push_back(ref.energy_uj);
+            edp_model.push_back(perf.latency * perf.energy_uj);
+            edp_ref.push_back(ref.edp);
+            if (ref.energy_uj < 1e-2) {
+                small_layer_err.push_back(100.0 *
+                        std::abs(perf.energy_uj - ref.energy_uj) /
+                        ref.energy_uj);
+            }
+        }
+    }
+
+    TablePrinter table({"metric", "MAE (%)", "max err (%)",
+                        "within 1% (frac)", "paper MAE (%)"});
+    table.addRow({"latency",
+            fmt(meanAbsPercentError(lat_model, lat_ref), 4),
+            fmt(maxAbsPercentError(lat_model, lat_ref), 2),
+            fmt(fractionWithinPercent(lat_model, lat_ref, 1.0), 3),
+            "0.01"});
+    table.addRow({"energy",
+            fmt(meanAbsPercentError(en_model, en_ref), 4),
+            fmt(maxAbsPercentError(en_model, en_ref), 2),
+            fmt(fractionWithinPercent(en_model, en_ref, 1.0), 3),
+            "0.18"});
+    table.addRow({"edp",
+            fmt(meanAbsPercentError(edp_model, edp_ref), 4),
+            fmt(maxAbsPercentError(edp_model, edp_ref), 2),
+            fmt(fractionWithinPercent(edp_model, edp_ref, 1.0), 3),
+            "0.18"});
+    table.print();
+    table.writeCsv("bench_fig4.csv");
+
+    if (!small_layer_err.empty()) {
+        std::printf("\nsmall layers (<0.01 uJ): n=%zu, "
+                    "mean err %.3f%%, max err %.2f%% "
+                    "(paper: up to ~12%% on small layers)\n",
+                small_layer_err.size(), mean(small_layer_err),
+                percentile(small_layer_err, 100.0));
+    }
+    std::printf("\nSpearman(model, reference) EDP: %.4f\n",
+            spearman(edp_model, edp_ref));
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 6 reproduction: loop-ordering optimization strategies on
+ * ResNet-50 and BERT — no ordering search ("Baseline"), re-selection
+ * at every rounding ("Iterate"), and softmax-weighted gradient-based
+ * ordering ("Softmax").
+ *
+ * Paper: after ~7000 samples, Iterate improves EDP 1.70x over the
+ * Baseline and Softmax improves 1.58x; both strategies realize
+ * similar gains, with Iterate slightly ahead and much cheaper.
+ */
+
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/dosa_optimizer.hh"
+#include "stats/stats.hh"
+#include "workload/model_zoo.hh"
+
+using namespace dosa;
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::parseScale(argc, argv);
+    bench::banner("Figure 6: loop-ordering strategies (Baseline / "
+                  "Iterate / Softmax)", scale);
+
+    // Paper setup (Section 6.1): 7 start points, round every 300
+    // steps, 890 steps per start, 3 runs.
+    const int starts = scale.pick(4, 7);
+    const int steps = scale.pick(600, 890);
+    const int round_every = scale.pick(300, 300);
+    const int runs = scale.pick(2, 3);
+
+    const OrderStrategy strategies[] = {OrderStrategy::Fixed,
+            OrderStrategy::Iterate, OrderStrategy::Softmax};
+
+    TablePrinter table({"workload", "strategy", "mean best EDP",
+                        "improvement vs Baseline"});
+    TablePrinter series({"workload", "strategy", "samples",
+                         "mean best EDP"});
+
+    for (const char *wl : {"resnet50", "bert"}) {
+        Network net = networkByName(wl);
+        double baseline_edp = 0.0;
+        for (OrderStrategy strat : strategies) {
+            std::vector<double> bests;
+            std::vector<std::vector<double>> traces;
+            for (int run = 0; run < runs; ++run) {
+                DosaConfig cfg;
+                cfg.start_points = starts;
+                cfg.steps_per_start = steps;
+                cfg.round_every = round_every;
+                cfg.strategy = strat;
+                cfg.seed = scale.seed + 100 * uint64_t(run) + 17;
+                DosaResult r = dosaSearch(net.layers, cfg);
+                bests.push_back(r.search.best_edp);
+                traces.push_back(r.search.trace);
+            }
+            double mean_best = geomean(bests);
+            if (strat == OrderStrategy::Fixed)
+                baseline_edp = mean_best;
+            table.addRow({wl, strategyName(strat),
+                    fmtSci(mean_best, 3),
+                    fmt(baseline_edp / mean_best, 2) + "x"});
+            // Downsampled mean trace.
+            size_t len = traces[0].size();
+            for (size_t i = len / 8; i <= len; i += len / 8) {
+                size_t idx = std::min(i, len) - 1;
+                std::vector<double> vals;
+                for (const auto &t : traces)
+                    vals.push_back(t[idx]);
+                series.addRow({wl, strategyName(strat),
+                        std::to_string(idx + 1),
+                        fmtSci(geomean(vals), 3)});
+            }
+        }
+    }
+
+    table.print();
+    bench::note("(paper: Iterate 1.70x, Softmax 1.58x over Baseline "
+                "at ~7000 samples)");
+    std::printf("\nEDP-vs-samples series:\n");
+    series.print();
+    table.writeCsv("bench_fig6.csv");
+    series.writeCsv("bench_fig6_series.csv");
+    return 0;
+}

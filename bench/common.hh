@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Every bench accepts:
+ *   --quick   reduced sample counts (default; CI-friendly)
+ *   --full    paper-scale sample counts
+ *   --seed N  base RNG seed (default 1)
+ * and prints the rows/series the corresponding paper figure reports,
+ * mirroring them to CSV files in the working directory.
+ */
+
+#ifndef DOSA_BENCH_COMMON_HH
+#define DOSA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "util/cli.hh"
+#include "util/table.hh"
+
+namespace dosa::bench {
+
+/** Scale selection for a bench run. */
+struct Scale
+{
+    bool full = false;
+    uint64_t seed = 1;
+
+    /** Pick quick or full value. */
+    template <class T>
+    T
+    pick(T quick_v, T full_v) const
+    {
+        return full ? full_v : quick_v;
+    }
+};
+
+inline Scale
+parseScale(int argc, const char *const *argv)
+{
+    Cli cli(argc, argv);
+    Scale s;
+    s.full = cli.has("full");
+    s.seed = static_cast<uint64_t>(cli.getInt("seed", 1));
+    return s;
+}
+
+inline void
+banner(const std::string &title, const Scale &scale)
+{
+    std::printf("==================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("mode: %s, seed: %llu\n", scale.full ? "full" : "quick",
+            static_cast<unsigned long long>(scale.seed));
+    std::printf("==================================================\n");
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+} // namespace dosa::bench
+
+#endif // DOSA_BENCH_COMMON_HH

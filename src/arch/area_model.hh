@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Area model for the Gemmini-style accelerator.
+ *
+ * The paper lists area as a natural third objective for the DOSA flow
+ * ("the model for each objective — latency, energy, and in future
+ * work, potentially area — can be replaced and augmented
+ * independently", Section 6.5.3). This implements that extension: a
+ * closed-form area estimate differentiable in the hardware scalars,
+ * usable both for reporting and as a search constraint
+ * (DosaConfig::max_area_mm2).
+ *
+ * Constants are representative 40nm figures (same node as the Table 2
+ * energies): an int8 MAC PE with weight register at ~2500 um^2 and
+ * single-port SRAM at ~0.05 mm^2 per 32 KB plus periphery.
+ */
+
+#ifndef DOSA_ARCH_AREA_MODEL_HH
+#define DOSA_ARCH_AREA_MODEL_HH
+
+#include "arch/hardware_config.hh"
+
+namespace dosa {
+
+/** Closed-form area estimate, templated like the energy model. */
+struct AreaModel
+{
+    static constexpr double kPeAreaMm2 = 0.0025;     ///< per PE
+    static constexpr double kSramMm2PerKib = 0.0016; ///< bit-cell array
+    static constexpr double kSramPeripheryMm2 = 0.02; ///< per macro
+    static constexpr double kNocOverheadFactor = 1.15; ///< wiring etc.
+
+    /** Total area in mm^2 given hardware scalars. */
+    template <class S>
+    static S
+    areaMm2(const S &cpe, const S &accum_words, const S &spad_words)
+    {
+        S accum_kib = accum_words * S(4.0 / 1024.0);
+        S spad_kib = spad_words * S(1.0 / 1024.0);
+        S macros = cpe * S(kPeAreaMm2) +
+                (accum_kib + spad_kib) * S(kSramMm2PerKib) +
+                S(2.0 * kSramPeripheryMm2);
+        return macros * S(kNocOverheadFactor);
+    }
+};
+
+/** Area of a concrete configuration in mm^2. */
+inline double
+configAreaMm2(const HardwareConfig &hw)
+{
+    return AreaModel::areaMm2(hw.cpe(), hw.accumWords(),
+            hw.spadWords());
+}
+
+} // namespace dosa
+
+#endif // DOSA_ARCH_AREA_MODEL_HH

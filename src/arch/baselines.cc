@@ -1,0 +1,42 @@
+#include "arch/baselines.hh"
+
+namespace dosa {
+
+BaselineAccelerator
+eyeriss()
+{
+    // 12x14 = 168 PEs in the original; nearest square is 13x13 = 169.
+    // 108 KB global buffer split between activations/weights; a modest
+    // partial-sum store.
+    return {"Eyeriss", HardwareConfig{13, 16, 108}};
+}
+
+BaselineAccelerator
+nvdlaSmall()
+{
+    // nv_small: 64 MACs, heavily area-constrained buffers.
+    return {"NVDLA Small", HardwareConfig{8, 8, 64}};
+}
+
+BaselineAccelerator
+nvdlaLarge()
+{
+    // nv_large: 1024 MACs (32x32), 512 KB CBUF; generous accumulator.
+    return {"NVDLA Large", HardwareConfig{32, 128, 512}};
+}
+
+BaselineAccelerator
+gemminiDefault()
+{
+    // Default Gemmini WS config (Section 6.5: 16x16 PEs, 32 KB
+    // accumulator, 128 KB scratchpad, single-buffer accounting).
+    return {"Gemmini Default", HardwareConfig{16, 32, 128}};
+}
+
+std::vector<BaselineAccelerator>
+allBaselines()
+{
+    return {eyeriss(), nvdlaSmall(), nvdlaLarge(), gemminiDefault()};
+}
+
+} // namespace dosa

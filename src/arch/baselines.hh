@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Expert-designed baseline accelerator configurations (Fig. 8).
+ *
+ * The paper evaluates Eyeriss, NVDLA-small, NVDLA-large and the default
+ * Gemmini configuration under Timeloop. Here each baseline is expressed
+ * as the closest Gemmini-style configuration (square PE array plus two
+ * SRAM levels); the published PE counts and buffer capacities are
+ * preserved to the nearest square / KiB.
+ */
+
+#ifndef DOSA_ARCH_BASELINES_HH
+#define DOSA_ARCH_BASELINES_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/hardware_config.hh"
+
+namespace dosa {
+
+/** A named expert baseline. */
+struct BaselineAccelerator
+{
+    std::string name;
+    HardwareConfig config;
+};
+
+/** Eyeriss: 168 PEs (~13x13), 108 KB global buffer. */
+BaselineAccelerator eyeriss();
+
+/** NVDLA-small: 64 MACs with small dedicated buffers. */
+BaselineAccelerator nvdlaSmall();
+
+/** NVDLA-large: 1024 MACs, 512 KB convolution buffer. */
+BaselineAccelerator nvdlaLarge();
+
+/** Gemmini default: 16x16 PEs, 32 KB accumulator, 128 KB scratchpad. */
+BaselineAccelerator gemminiDefault();
+
+/** The four Fig. 8 baselines in paper order. */
+std::vector<BaselineAccelerator> allBaselines();
+
+} // namespace dosa
+
+#endif // DOSA_ARCH_BASELINES_HH

@@ -1,0 +1,57 @@
+#include "arch/hardware_config.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dosa {
+
+const char *
+levelName(int level)
+{
+    switch (level) {
+      case kRegisters: return "Registers";
+      case kAccumulator: return "Accumulator";
+      case kScratchpad: return "Scratchpad";
+      case kDram: return "DRAM";
+      default: return "?";
+    }
+}
+
+std::string
+HardwareConfig::str() const
+{
+    std::ostringstream os;
+    os << pe_dim << "x" << pe_dim << " PEs, " << accum_kib
+       << " KB accumulator, " << spad_kib << " KB scratchpad";
+    return os.str();
+}
+
+HardwareConfig
+quantizeConfig(double pe_dim, double accum_words, double spad_words)
+{
+    HardwareConfig cfg;
+    cfg.pe_dim = std::clamp<int64_t>(
+            static_cast<int64_t>(std::ceil(pe_dim - 1e-9)), 1, kMaxPeDim);
+    double accum_bytes = std::max(accum_words, 1.0) * 4.0;
+    double spad_bytes = std::max(spad_words, 1.0);
+    cfg.accum_kib = std::max<int64_t>(1,
+            static_cast<int64_t>(std::ceil(accum_bytes / 1024.0 - 1e-9)));
+    cfg.spad_kib = std::max<int64_t>(1,
+            static_cast<int64_t>(std::ceil(spad_bytes / 1024.0 - 1e-9)));
+    return cfg;
+}
+
+HardwareConfig
+configMax(const HardwareConfig &a, const HardwareConfig &b)
+{
+    HardwareConfig cfg;
+    cfg.pe_dim = std::max(a.pe_dim, b.pe_dim);
+    cfg.accum_kib = std::max(a.accum_kib, b.accum_kib);
+    cfg.spad_kib = std::max(a.spad_kib, b.spad_kib);
+    return cfg;
+}
+
+} // namespace dosa

@@ -1,0 +1,65 @@
+#include "autodiff/tape.hh"
+
+#include "util/logging.hh"
+
+namespace dosa::ad {
+
+NodeId
+Tape::addLeaf(double value)
+{
+    nodes_.push_back({kNoParent, kNoParent, 0.0, 0.0});
+    values_.push_back(value);
+    return static_cast<NodeId>(values_.size() - 1);
+}
+
+NodeId
+Tape::addUnary(NodeId parent, double w, double value)
+{
+    nodes_.push_back({parent, kNoParent, w, 0.0});
+    values_.push_back(value);
+    return static_cast<NodeId>(values_.size() - 1);
+}
+
+NodeId
+Tape::addBinary(NodeId p0, double w0, NodeId p1, double w1, double value)
+{
+    nodes_.push_back({p0, p1, w0, w1});
+    values_.push_back(value);
+    return static_cast<NodeId>(values_.size() - 1);
+}
+
+std::vector<double>
+Tape::gradient(NodeId output) const
+{
+    if (output < 0 || static_cast<size_t>(output) >= values_.size())
+        panic("Tape::gradient: output id out of range");
+    std::vector<double> adj(values_.size(), 0.0);
+    adj[static_cast<size_t>(output)] = 1.0;
+    for (size_t ii = static_cast<size_t>(output) + 1; ii-- > 0;) {
+        double a = adj[ii];
+        if (a == 0.0)
+            continue;
+        const Node &n = nodes_[ii];
+        if (n.p0 != kNoParent)
+            adj[static_cast<size_t>(n.p0)] += a * n.w0;
+        if (n.p1 != kNoParent)
+            adj[static_cast<size_t>(n.p1)] += a * n.w1;
+    }
+    return adj;
+}
+
+void
+Tape::clear()
+{
+    nodes_.clear();
+    values_.clear();
+}
+
+void
+Tape::reserve(size_t n)
+{
+    nodes_.reserve(n);
+    values_.reserve(n);
+}
+
+} // namespace dosa::ad

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation tape.
+ *
+ * The paper implements its differentiable performance model with PyTorch
+ * autograd; this is the equivalent substrate built from scratch. Each
+ * arithmetic operation appends a node recording (up to two) parents and
+ * the local partial derivatives; a single reverse sweep then yields the
+ * gradient of one scalar output with respect to every leaf.
+ *
+ * The DOSA objective graph is rebuilt every descent step, so the tape is
+ * optimized for append-heavy usage: flat vectors, trivially clearable.
+ */
+
+#ifndef DOSA_AUTODIFF_TAPE_HH
+#define DOSA_AUTODIFF_TAPE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dosa::ad {
+
+/** Index of a node on the tape. */
+using NodeId = int32_t;
+
+/** Sentinel for "no parent". */
+constexpr NodeId kNoParent = -1;
+
+/**
+ * Append-only computation record supporting reverse-mode sweeps.
+ *
+ * Nodes hold at most two parents; n-ary reductions are built from
+ * binary chains by the Var operators layered on top.
+ */
+class Tape
+{
+  public:
+    /** Add an input (leaf) node with the given value. */
+    NodeId addLeaf(double value);
+
+    /** Add a node with one parent and local derivative w. */
+    NodeId addUnary(NodeId parent, double w, double value);
+
+    /** Add a node with two parents and local derivatives w0, w1. */
+    NodeId addBinary(NodeId p0, double w0, NodeId p1, double w1,
+                     double value);
+
+    /** Value stored at a node. */
+    double value(NodeId id) const { return values_[size_t(id)]; }
+
+    /** Number of nodes currently recorded. */
+    size_t size() const { return values_.size(); }
+
+    /**
+     * Reverse sweep from `output`: returns the adjoint (d output / d node)
+     * for every node on the tape. Callers index this by leaf NodeIds.
+     */
+    std::vector<double> gradient(NodeId output) const;
+
+    /** Drop all nodes; invalidates outstanding NodeIds. */
+    void clear();
+
+    /**
+     * Reserve capacity for roughly `n` nodes (perf hint for the
+     * per-step graph rebuild).
+     */
+    void reserve(size_t n);
+
+  private:
+    struct Node
+    {
+        NodeId p0;
+        NodeId p1;
+        double w0;
+        double w1;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<double> values_;
+};
+
+} // namespace dosa::ad
+
+#endif // DOSA_AUTODIFF_TAPE_HH

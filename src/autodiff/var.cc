@@ -1,0 +1,207 @@
+#include "autodiff/var.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dosa::ad {
+
+namespace {
+
+/** Pick the shared tape of two operands; panic on a cross-tape mix. */
+Tape *
+jointTape(const Var &a, const Var &b)
+{
+    Tape *ta = a.tape();
+    Tape *tb = b.tape();
+    if (ta && tb && ta != tb)
+        panic("ad::Var: operands recorded on different tapes");
+    return ta ? ta : tb;
+}
+
+} // namespace
+
+Var
+Var::make(Tape *tape, NodeId id, double val)
+{
+    Var v;
+    v.tape_ = tape;
+    v.id_ = id;
+    v.val_ = val;
+    return v;
+}
+
+Var
+Var::operator-() const
+{
+    if (!tape_)
+        return Var(-val_);
+    return make(tape_, tape_->addUnary(id_, -1.0, -val_), -val_);
+}
+
+Var
+operator+(const Var &a, const Var &b)
+{
+    Tape *t = jointTape(a, b);
+    double v = a.val_ + b.val_;
+    if (!t)
+        return Var(v);
+    if (a.id_ != kNoParent && b.id_ != kNoParent)
+        return Var::make(t, t->addBinary(a.id_, 1.0, b.id_, 1.0, v), v);
+    NodeId p = a.id_ != kNoParent ? a.id_ : b.id_;
+    return Var::make(t, t->addUnary(p, 1.0, v), v);
+}
+
+Var
+operator-(const Var &a, const Var &b)
+{
+    Tape *t = jointTape(a, b);
+    double v = a.val_ - b.val_;
+    if (!t)
+        return Var(v);
+    if (a.id_ != kNoParent && b.id_ != kNoParent)
+        return Var::make(t, t->addBinary(a.id_, 1.0, b.id_, -1.0, v), v);
+    if (a.id_ != kNoParent)
+        return Var::make(t, t->addUnary(a.id_, 1.0, v), v);
+    return Var::make(t, t->addUnary(b.id_, -1.0, v), v);
+}
+
+Var
+operator*(const Var &a, const Var &b)
+{
+    Tape *t = jointTape(a, b);
+    double v = a.val_ * b.val_;
+    if (!t)
+        return Var(v);
+    if (a.id_ != kNoParent && b.id_ != kNoParent)
+        return Var::make(t,
+                t->addBinary(a.id_, b.val_, b.id_, a.val_, v), v);
+    if (a.id_ != kNoParent)
+        return Var::make(t, t->addUnary(a.id_, b.val_, v), v);
+    return Var::make(t, t->addUnary(b.id_, a.val_, v), v);
+}
+
+Var
+operator/(const Var &a, const Var &b)
+{
+    Tape *t = jointTape(a, b);
+    double v = a.val_ / b.val_;
+    if (!t)
+        return Var(v);
+    double da = 1.0 / b.val_;
+    double db = -a.val_ / (b.val_ * b.val_);
+    if (a.id_ != kNoParent && b.id_ != kNoParent)
+        return Var::make(t, t->addBinary(a.id_, da, b.id_, db, v), v);
+    if (a.id_ != kNoParent)
+        return Var::make(t, t->addUnary(a.id_, da, v), v);
+    return Var::make(t, t->addUnary(b.id_, db, v), v);
+}
+
+Var
+log(const Var &a)
+{
+    double v = std::log(a.val_);
+    if (!a.tape_)
+        return Var(v);
+    return Var::make(a.tape_,
+            a.tape_->addUnary(a.id_, 1.0 / a.val_, v), v);
+}
+
+Var
+exp(const Var &a)
+{
+    double v = std::exp(a.val_);
+    if (!a.tape_)
+        return Var(v);
+    return Var::make(a.tape_, a.tape_->addUnary(a.id_, v, v), v);
+}
+
+Var
+sqrt(const Var &a)
+{
+    double v = std::sqrt(a.val_);
+    if (!a.tape_)
+        return Var(v);
+    return Var::make(a.tape_,
+            a.tape_->addUnary(a.id_, 0.5 / v, v), v);
+}
+
+Var
+pow(const Var &a, double e)
+{
+    double v = std::pow(a.val_, e);
+    if (!a.tape_)
+        return Var(v);
+    double d = e * std::pow(a.val_, e - 1.0);
+    return Var::make(a.tape_, a.tape_->addUnary(a.id_, d, v), v);
+}
+
+Var
+max(const Var &a, const Var &b)
+{
+    // Subgradient flows only to the larger operand (ties go to a),
+    // matching torch.max backward behaviour closely enough for DSE.
+    const Var &win = a.val_ >= b.val_ ? a : b;
+    Tape *t = jointTape(a, b);
+    if (!t || win.id_ == kNoParent)
+        return Var(win.val_);
+    return Var::make(t, t->addUnary(win.id_, 1.0, win.val_), win.val_);
+}
+
+Var
+min(const Var &a, const Var &b)
+{
+    const Var &win = a.val_ <= b.val_ ? a : b;
+    Tape *t = jointTape(a, b);
+    if (!t || win.id_ == kNoParent)
+        return Var(win.val_);
+    return Var::make(t, t->addUnary(win.id_, 1.0, win.val_), win.val_);
+}
+
+Var
+relu(const Var &a)
+{
+    if (a.val_ <= 0.0) {
+        // Hard zero with no gradient, as in torch.relu at/below 0.
+        if (!a.tape_)
+            return Var(0.0);
+        return Var::make(a.tape_, a.tape_->addUnary(a.id_, 0.0, 0.0), 0.0);
+    }
+    if (!a.tape_)
+        return Var(a.val_);
+    return Var::make(a.tape_,
+            a.tape_->addUnary(a.id_, 1.0, a.val_), a.val_);
+}
+
+Var
+sum(const std::vector<Var> &xs)
+{
+    Var acc(0.0);
+    for (const Var &x : xs)
+        acc = acc + x;
+    return acc;
+}
+
+std::vector<Var>
+softmax(const std::vector<Var> &xs)
+{
+    if (xs.empty())
+        return {};
+    // Standard max-shift for numerical stability; the shift is treated
+    // as a constant (its gradient contribution cancels analytically).
+    double shift = xs[0].value();
+    for (const Var &x : xs)
+        shift = std::max(shift, x.value());
+    std::vector<Var> es;
+    es.reserve(xs.size());
+    for (const Var &x : xs)
+        es.push_back(exp(x - Var(shift)));
+    Var denom = sum(es);
+    std::vector<Var> out;
+    out.reserve(xs.size());
+    for (const Var &e : es)
+        out.push_back(e / denom);
+    return out;
+}
+
+} // namespace dosa::ad

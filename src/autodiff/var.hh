@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Differentiable scalar type recorded on a Tape.
+ *
+ * Var mirrors double arithmetic closely enough that the analytical
+ * performance model (src/model) can be written once as a template and
+ * instantiated for plain double (fast evaluation) or Var (gradient
+ * descent). Mixing Vars from different tapes is a programming error and
+ * panics.
+ */
+
+#ifndef DOSA_AUTODIFF_VAR_HH
+#define DOSA_AUTODIFF_VAR_HH
+
+#include <vector>
+
+#include "autodiff/tape.hh"
+
+namespace dosa::ad {
+
+/**
+ * A scalar value tracked for reverse-mode differentiation.
+ *
+ * Default-constructed Vars are detached constants (no tape); any
+ * arithmetic combining a detached constant with a taped Var records
+ * the constant implicitly via a unary node.
+ */
+class Var
+{
+  public:
+    /** Detached constant 0. */
+    Var() : tape_(nullptr), id_(kNoParent), val_(0.0) {}
+
+    /** Detached constant. */
+    Var(double v) : tape_(nullptr), id_(kNoParent), val_(v) {}
+
+    /** Leaf variable recorded on `tape`. */
+    Var(Tape &tape, double v)
+        : tape_(&tape), id_(tape.addLeaf(v)), val_(v)
+    {}
+
+    /** Numeric value. */
+    double value() const { return val_; }
+
+    /** Tape node id, or kNoParent for detached constants. */
+    NodeId id() const { return id_; }
+
+    /** The owning tape (nullptr for detached constants). */
+    Tape *tape() const { return tape_; }
+
+    Var operator-() const;
+    Var &operator+=(const Var &o) { *this = *this + o; return *this; }
+    Var &operator-=(const Var &o) { *this = *this - o; return *this; }
+    Var &operator*=(const Var &o) { *this = *this * o; return *this; }
+    Var &operator/=(const Var &o) { *this = *this / o; return *this; }
+
+    friend Var operator+(const Var &a, const Var &b);
+    friend Var operator-(const Var &a, const Var &b);
+    friend Var operator*(const Var &a, const Var &b);
+    friend Var operator/(const Var &a, const Var &b);
+
+    friend Var log(const Var &a);
+    friend Var exp(const Var &a);
+    friend Var sqrt(const Var &a);
+    friend Var pow(const Var &a, double e);
+    /** max with subgradient to the larger operand (PyTorch semantics). */
+    friend Var max(const Var &a, const Var &b);
+    friend Var min(const Var &a, const Var &b);
+    /** max(a, 0), the Eq. 18 penalty hinge. */
+    friend Var relu(const Var &a);
+
+  private:
+    static Var make(Tape *tape, NodeId id, double val);
+
+    Tape *tape_;
+    NodeId id_;
+    double val_;
+};
+
+/** Comparison on values only (no tape recording). */
+inline bool operator<(const Var &a, const Var &b)
+{ return a.value() < b.value(); }
+inline bool operator>(const Var &a, const Var &b)
+{ return a.value() > b.value(); }
+
+/** Sum of a vector of Vars (binary-chain reduction). */
+Var sum(const std::vector<Var> &xs);
+
+/** Elementwise softmax of a vector of Vars. */
+std::vector<Var> softmax(const std::vector<Var> &xs);
+
+// Generic helpers so templated model code works on double and Var alike.
+
+/** Numeric value of a scalar (identity for double). */
+inline double val(double x) { return x; }
+inline double val(const Var &x) { return x.value(); }
+
+} // namespace dosa::ad
+
+#endif // DOSA_AUTODIFF_VAR_HH

@@ -1,0 +1,367 @@
+#include "core/dosa_optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/area_model.hh"
+#include "core/adam.hh"
+#include "mapping/rounding.hh"
+#include "model/reference.hh"
+#include "search/cosa_mapper.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+namespace {
+
+/**
+ * Project the log-space variables onto the feasible region: for every
+ * (layer, dimension) whose on-chip factor product exceeds the problem
+ * size (inferred DRAM residual below 1), shave the excess evenly off
+ * the participating coordinates, and clamp factors to [1, pe-cap for
+ * spatial / dim size for temporal].
+ *
+ * Without this, the Eq 18 penalty acts as a hard wall that blocks the
+ * coordinated moves gradient descent needs (e.g. growing a spatial
+ * factor while shrinking the same dimension's temporal factor): the
+ * hinge gradient pushes every factor of the dimension down the moment
+ * any one of them grows. Projection turns those walls into exact
+ * exchanges.
+ */
+void
+projectFeasible(std::vector<double> &x, const std::vector<Layer> &layers,
+                int64_t pe_cap)
+{
+    const double log_cap = std::log(static_cast<double>(pe_cap));
+    for (size_t li = 0; li < layers.size(); ++li) {
+        size_t base = li * kVarsPerLayer;
+        double *xl = x.data() + base;
+        double *sc = xl + kNumDims * (kNumLevels - 1);
+        double *sk = sc + 1;
+        // Clamp raw coordinates first.
+        for (int i = 0; i < kNumDims * (kNumLevels - 1); ++i)
+            xl[i] = std::max(0.0, xl[i]);
+        *sc = std::clamp(*sc, 0.0, log_cap);
+        *sk = std::clamp(*sk, 0.0, log_cap);
+        for (Dim d : kAllDims) {
+            double cap = std::log(
+                    static_cast<double>(layers[li].size(d)));
+            // Coordinates participating in this dimension.
+            double *coords[4];
+            int n = 0;
+            for (int lvl = 0; lvl < kDram; ++lvl)
+                coords[n++] = xl + lvl * kNumDims +
+                        static_cast<int>(d);
+            if (d == Dim::C)
+                coords[n++] = sc;
+            if (d == Dim::K)
+                coords[n++] = sk;
+            for (int iter = 0; iter < 4; ++iter) {
+                double total = 0.0;
+                for (int i = 0; i < n; ++i)
+                    total += *coords[i];
+                double excess = total - cap;
+                if (excess <= 1e-12)
+                    break;
+                // Shave evenly off the positive coordinates; repeat
+                // in case some clamp at zero.
+                int positive = 0;
+                for (int i = 0; i < n; ++i)
+                    if (*coords[i] > 0.0)
+                        ++positive;
+                if (positive == 0)
+                    break;
+                double shave = excess / positive;
+                for (int i = 0; i < n; ++i)
+                    if (*coords[i] > 0.0)
+                        *coords[i] = std::max(0.0,
+                                *coords[i] - shave);
+            }
+        }
+    }
+}
+
+/** Infer the scoring hardware for a set of mappings under a mode. */
+HardwareConfig
+scoringHw(const std::vector<Layer> &layers,
+          const std::vector<Mapping> &mappings, const ObjectiveMode &mode)
+{
+    HardwareConfig hw = inferMinimalHw(layers, mappings);
+    if (mode.fix_pe)
+        hw.pe_dim = mode.pe_dim;
+    return hw;
+}
+
+/** Whether a concrete design violates the optional area budget. */
+bool
+overAreaBudget(const HardwareConfig &hw, const ObjectiveMode &mode)
+{
+    return mode.max_area_mm2 > 0.0 &&
+           configAreaMm2(hw) > mode.max_area_mm2;
+}
+
+} // namespace
+
+NetworkEval
+scoreDesign(const std::vector<Layer> &layers,
+            const std::vector<Mapping> &mappings,
+            const HardwareConfig &hw, const LatencyScorer &scorer)
+{
+    NetworkEval out;
+    for (size_t li = 0; li < layers.size(); ++li) {
+        RefEval ev = referenceEval(layers[li], mappings[li], hw);
+        double lat = scorer ? scorer(layers[li], mappings[li], hw)
+                            : ev.latency;
+        double cnt = static_cast<double>(layers[li].count);
+        out.energy_uj += cnt * ev.energy_uj;
+        out.latency += cnt * lat;
+        out.fits = out.fits && ev.fits;
+    }
+    out.edp = out.energy_uj * out.latency;
+    return out;
+}
+
+std::vector<OrderVec>
+selectOrders(const std::vector<Layer> &layers,
+             std::vector<Mapping> &mappings, const HardwareConfig &hw,
+             const LatencyScorer &scorer)
+{
+    const size_t n = layers.size();
+    // Per-layer (energy, latency) for each of the 3 uniform orderings.
+    std::vector<std::array<double, kNumOrders>> energy(n), latency(n);
+    for (size_t li = 0; li < n; ++li) {
+        for (int o = 0; o < kNumOrders; ++o) {
+            Mapping m = mappings[li];
+            m.order = uniformOrder(static_cast<LoopOrder>(o));
+            RefEval ev = referenceEval(layers[li], m, hw);
+            double lat = scorer ? scorer(layers[li], m, hw)
+                                : ev.latency;
+            double cnt = static_cast<double>(layers[li].count);
+            energy[li][size_t(o)] = cnt * ev.energy_uj;
+            latency[li][size_t(o)] = cnt * lat;
+        }
+    }
+
+    // Coordinate-descend on the network EDP (Eq 14 couples layers
+    // through the sums) from two starts — the incoming orders (so the
+    // selection can never regress the current design) and the
+    // per-layer EDP argmin — keeping the better result.
+    auto descend = [&](std::vector<int> choice) {
+        double e_sum = 0.0, l_sum = 0.0;
+        for (size_t li = 0; li < n; ++li) {
+            e_sum += energy[li][size_t(choice[li])];
+            l_sum += latency[li][size_t(choice[li])];
+        }
+        for (int pass = 0; pass < 2; ++pass) {
+            for (size_t li = 0; li < n; ++li) {
+                int cur = choice[li];
+                double e_rest = e_sum - energy[li][size_t(cur)];
+                double l_rest = l_sum - latency[li][size_t(cur)];
+                int best = cur;
+                double best_edp = e_sum * l_sum;
+                for (int o = 0; o < kNumOrders; ++o) {
+                    double edp = (e_rest + energy[li][size_t(o)]) *
+                                 (l_rest + latency[li][size_t(o)]);
+                    if (edp < best_edp) {
+                        best_edp = edp;
+                        best = o;
+                    }
+                }
+                if (best != cur) {
+                    choice[li] = best;
+                    e_sum = e_rest + energy[li][size_t(best)];
+                    l_sum = l_rest + latency[li][size_t(best)];
+                }
+            }
+        }
+        return std::make_pair(choice, e_sum * l_sum);
+    };
+
+    std::vector<int> incoming(n, 0), argmin(n, 0);
+    for (size_t li = 0; li < n; ++li) {
+        incoming[li] =
+                static_cast<int>(mappings[li].order[size_t(kDram)]);
+        int best = 0;
+        for (int o = 1; o < kNumOrders; ++o)
+            if (energy[li][size_t(o)] * latency[li][size_t(o)] <
+                energy[li][size_t(best)] * latency[li][size_t(best)])
+                best = o;
+        argmin[li] = best;
+    }
+    auto [c_inc, edp_inc] = descend(incoming);
+    auto [c_arg, edp_arg] = descend(argmin);
+    std::vector<int> choice = edp_inc <= edp_arg ? c_inc : c_arg;
+
+    std::vector<OrderVec> orders(n);
+    for (size_t li = 0; li < n; ++li) {
+        orders[li] = uniformOrder(static_cast<LoopOrder>(choice[li]));
+        mappings[li].order = orders[li];
+    }
+    return orders;
+}
+
+RoundedDesign
+roundAndScore(const std::vector<Layer> &layers,
+              const std::vector<double> &x,
+              const std::vector<OrderVec> &orders,
+              const ObjectiveMode &mode, const LatencyScorer &scorer)
+{
+    RoundedDesign design;
+    design.mappings.resize(layers.size());
+    for (size_t li = 0; li < layers.size(); ++li) {
+        Factors<double> f = unpackFactors(x, li);
+        design.mappings[li] = roundToValid(f, layers[li], orders[li],
+                mode.peCap());
+    }
+    design.hw = scoringHw(layers, design.mappings, mode);
+    NetworkEval ev = scoreDesign(layers, design.mappings, design.hw,
+            scorer);
+    design.edp = ev.edp;
+    design.energy_uj = ev.energy_uj;
+    design.latency = ev.latency;
+    return design;
+}
+
+DosaResult
+dosaSearch(const std::vector<Layer> &layers, const DosaConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    DosaResult result;
+    result.best_start_edp = std::numeric_limits<double>::infinity();
+    double best_start_model_edp =
+            std::numeric_limits<double>::infinity();
+
+    for (int sp = 0; sp < cfg.start_points; ++sp) {
+        // ---- Start-point generation with rejection (Section 5.3.1).
+        std::vector<Mapping> mappings(layers.size());
+        std::vector<double> x;
+        std::vector<OrderVec> orders(layers.size(),
+                uniformOrder(LoopOrder::WS));
+        HardwareConfig start_hw;
+        double start_model_edp = 0.0;
+
+        for (int attempt = 0; attempt < cfg.max_start_tries; ++attempt) {
+            start_hw = randomHardware(rng);
+            if (cfg.mode.fix_pe)
+                start_hw.pe_dim = cfg.mode.pe_dim;
+            // Under an area budget, sample start hardware inside it
+            // (falling back to the smallest design point).
+            if (cfg.mode.max_area_mm2 > 0.0) {
+                for (int t = 0; t < 64 &&
+                     overAreaBudget(start_hw, cfg.mode); ++t) {
+                    start_hw = randomHardware(rng);
+                    if (cfg.mode.fix_pe)
+                        start_hw.pe_dim = cfg.mode.pe_dim;
+                }
+                if (overAreaBudget(start_hw, cfg.mode))
+                    start_hw = HardwareConfig{cfg.mode.fix_pe
+                            ? cfg.mode.pe_dim : 4, 8, 16};
+            }
+            for (size_t li = 0; li < layers.size(); ++li) {
+                mappings[li] = cosaMap(layers[li], start_hw);
+                mappings[li].order = orders[li];
+            }
+            x.clear();
+            for (const Mapping &m : mappings) {
+                std::vector<double> xl = packMapping(m);
+                x.insert(x.end(), xl.begin(), xl.end());
+            }
+            ObjectiveEval ev = evalObjective(layers, x, orders,
+                    OrderStrategy::Fixed, cfg.mode);
+            start_model_edp = ev.edp;
+            if (start_model_edp <=
+                cfg.reject_factor * best_start_model_edp)
+                break;
+        }
+        best_start_model_edp =
+                std::min(best_start_model_edp, start_model_edp);
+
+        // Score the concrete start point (one sample).
+        {
+            HardwareConfig hw0 = scoringHw(layers, mappings, cfg.mode);
+            NetworkEval ev0 = scoreDesign(layers, mappings, hw0,
+                    cfg.score_latency);
+            bool valid0 = !overAreaBudget(hw0, cfg.mode);
+            if (valid0 && ev0.edp < result.best_start_edp) {
+                result.best_start_edp = ev0.edp;
+                result.best_start_hw = hw0;
+            }
+            if (valid0 && ev0.edp < result.search.best_edp) {
+                result.search.best_hw = hw0;
+                result.search.best_mappings = mappings;
+            }
+            result.search.record(valid0 ? ev0.edp
+                    : std::numeric_limits<double>::infinity());
+        }
+
+        // ---- Gradient descent with periodic rounding. Each rounding
+        // projects onto the divisor grid; descent restarts from the
+        // best design seen so far in this start (greedy restart keeps
+        // the search anchored while the fresh lr schedule explores).
+        double start_best_edp = std::numeric_limits<double>::infinity();
+        std::vector<double> start_best_x = x;
+        std::vector<OrderVec> start_best_orders = orders;
+        Adam adam(x.size(), cfg.lr);
+        for (int step = 1; step <= cfg.steps_per_start; ++step) {
+            ObjectiveEval ev = evalObjective(layers, x, orders,
+                    cfg.strategy, cfg.mode);
+            // Geometric decay within the current rounding segment.
+            int seg_pos = (step - 1) % cfg.round_every;
+            double frac = static_cast<double>(seg_pos) /
+                    static_cast<double>(std::max(1,
+                            cfg.round_every - 1));
+            adam.step(x, ev.grad, std::pow(cfg.lr_decay, frac));
+            if (cfg.project_feasible)
+                projectFeasible(x, layers, cfg.mode.peCap());
+
+            bool round_now = (step % cfg.round_every == 0) ||
+                             step == cfg.steps_per_start;
+            if (!round_now) {
+                // Model evaluation consumed; no new concrete point.
+                result.search.record(
+                        std::numeric_limits<double>::infinity());
+                continue;
+            }
+
+            RoundedDesign design = roundAndScore(layers, x, orders,
+                    cfg.mode, cfg.score_latency);
+            if (cfg.strategy != OrderStrategy::Fixed) {
+                orders = selectOrders(layers, design.mappings,
+                        design.hw, cfg.score_latency);
+                NetworkEval ev2 = scoreDesign(layers, design.mappings,
+                        design.hw, cfg.score_latency);
+                design.edp = ev2.edp;
+                design.energy_uj = ev2.energy_uj;
+                design.latency = ev2.latency;
+            }
+            bool valid = !overAreaBudget(design.hw, cfg.mode);
+            if (valid && design.edp < result.search.best_edp) {
+                result.search.best_hw = design.hw;
+                result.search.best_mappings = design.mappings;
+            }
+            result.search.record(valid ? design.edp
+                    : std::numeric_limits<double>::infinity());
+
+            // Project the variables onto the rounded point; if this
+            // rounding regressed, fall back to the best point of the
+            // current start. Either way the moments restart.
+            x.clear();
+            for (const Mapping &m : design.mappings) {
+                std::vector<double> xl = packMapping(m);
+                x.insert(x.end(), xl.begin(), xl.end());
+            }
+            if (valid && design.edp < start_best_edp) {
+                start_best_edp = design.edp;
+                start_best_x = x;
+                start_best_orders = orders;
+            } else if (cfg.restart_from_best) {
+                x = start_best_x;
+                orders = start_best_orders;
+            }
+            adam.reset();
+        }
+    }
+    return result;
+}
+
+} // namespace dosa

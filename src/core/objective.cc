@@ -1,0 +1,242 @@
+#include "core/objective.hh"
+
+#include <cmath>
+
+#include "arch/area_model.hh"
+#include "autodiff/tape.hh"
+#include "autodiff/var.hh"
+#include "model/analytical.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+using ad::Tape;
+using ad::Var;
+
+const char *
+strategyName(OrderStrategy s)
+{
+    switch (s) {
+      case OrderStrategy::Fixed: return "Baseline";
+      case OrderStrategy::Iterate: return "Iterate";
+      case OrderStrategy::Softmax: return "Softmax";
+    }
+    return "?";
+}
+
+std::vector<double>
+packMapping(const Mapping &m)
+{
+    std::vector<double> x;
+    x.reserve(kVarsPerLayer);
+    for (int lvl = 0; lvl < kDram; ++lvl)
+        for (Dim d : kAllDims)
+            x.push_back(std::log(
+                    static_cast<double>(m.factors.t(lvl, d))));
+    x.push_back(std::log(static_cast<double>(m.factors.spatial_c)));
+    x.push_back(std::log(static_cast<double>(m.factors.spatial_k)));
+    return x;
+}
+
+Factors<double>
+unpackFactors(const std::vector<double> &x, size_t layer_index)
+{
+    Factors<double> f;
+    size_t base = layer_index * kVarsPerLayer;
+    size_t idx = 0;
+    for (int lvl = 0; lvl < kDram; ++lvl)
+        for (Dim d : kAllDims)
+            f.t(lvl, d) = std::exp(x[base + idx++]);
+    f.spatial_c = std::exp(x[base + idx++]);
+    f.spatial_k = std::exp(x[base + idx++]);
+    // DRAM entries are inferred downstream; leave them neutral.
+    return f;
+}
+
+namespace {
+
+/** The three uniform orderings blended by the Softmax strategy. */
+const OrderVec kUniformOrders[kNumOrders] = {
+    uniformOrder(LoopOrder::WS),
+    uniformOrder(LoopOrder::IS),
+    uniformOrder(LoopOrder::OS),
+};
+
+} // namespace
+
+ObjectiveEval
+evalObjective(const std::vector<Layer> &layers,
+              const std::vector<double> &x,
+              const std::vector<OrderVec> &orders, OrderStrategy strategy,
+              const ObjectiveMode &mode)
+{
+    const size_t num_layers = layers.size();
+    if (x.size() != num_layers * kVarsPerLayer)
+        panic("evalObjective: variable vector size mismatch");
+    if (strategy != OrderStrategy::Softmax &&
+        orders.size() != num_layers)
+        panic("evalObjective: orders size mismatch");
+
+    Tape tape;
+    tape.reserve(num_layers * 4096);
+    std::vector<ad::NodeId> leaf_ids(x.size());
+
+    // Reconstruct per-layer factors on the tape; infer DRAM residuals.
+    std::vector<Factors<Var>> factors(num_layers);
+    Var penalty(0.0);
+    const double cap = static_cast<double>(mode.peCap());
+
+    for (size_t li = 0; li < num_layers; ++li) {
+        size_t base = li * kVarsPerLayer;
+        size_t idx = 0;
+        Factors<Var> &f = factors[li];
+        for (int lvl = 0; lvl < kDram; ++lvl) {
+            for (Dim d : kAllDims) {
+                Var leaf(tape, x[base + idx]);
+                leaf_ids[base + idx] = leaf.id();
+                f.t(lvl, d) = exp(leaf);
+                ++idx;
+            }
+        }
+        Var leaf_sc(tape, x[base + idx]);
+        leaf_ids[base + idx] = leaf_sc.id();
+        f.spatial_c = exp(leaf_sc);
+        ++idx;
+        Var leaf_sk(tape, x[base + idx]);
+        leaf_ids[base + idx] = leaf_sk.id();
+        f.spatial_k = exp(leaf_sk);
+        ++idx;
+
+        for (Dim d : kAllDims) {
+            Var inner(1.0);
+            for (int lvl = 0; lvl < kDram; ++lvl) {
+                inner = inner * f.t(lvl, d);
+                inner = inner * f.spatialAt(lvl, d);
+            }
+            f.t(kDram, d) =
+                    Var(static_cast<double>(layers[li].size(d))) / inner;
+        }
+
+        // Eq 18 validity penalty over every factor (including the
+        // inferred DRAM residuals), plus normalized spatial-cap hinges.
+        for (int lvl = 0; lvl < kNumLevels; ++lvl)
+            for (Dim d : kAllDims)
+                penalty = penalty + relu(Var(1.0) - f.t(lvl, d));
+        penalty = penalty + relu(Var(1.0) - f.spatial_c) +
+                  relu(Var(1.0) - f.spatial_k);
+        penalty = penalty + relu(f.spatial_c / Var(cap) - Var(1.0)) +
+                  relu(f.spatial_k / Var(cap) - Var(1.0));
+    }
+
+    // Which orderings each layer needs.
+    auto layer_orders = [&](size_t li) -> std::vector<OrderVec> {
+        if (strategy == OrderStrategy::Softmax)
+            return {kUniformOrders[0], kUniformOrders[1],
+                    kUniformOrders[2]};
+        return {orders[li]};
+    };
+
+    // Counts per layer per ordering. Capacity fields are
+    // ordering-independent, so the first entry serves hardware
+    // inference.
+    std::vector<std::vector<LayerCounts<Var>>> counts(num_layers);
+    for (size_t li = 0; li < num_layers; ++li)
+        for (const OrderVec &ov : layer_orders(li))
+            counts[li].push_back(
+                    computeCounts(layers[li], factors[li], ov));
+
+    // Shared hardware scalars: fixed C_PE (Fig. 12 mode) or the
+    // differentiable max over layers (Eq 1 + Section 4.5).
+    HwScalars<Var> hw;
+    if (mode.fix_pe) {
+        double pd = static_cast<double>(mode.pe_dim);
+        hw.cpe = Var(pd * pd);
+    } else {
+        Var pe_req = counts[0][0].pe_dim_req;
+        for (size_t li = 1; li < num_layers; ++li)
+            pe_req = max(pe_req, counts[li][0].pe_dim_req);
+        hw.cpe = pe_req * pe_req;
+    }
+    hw.accum_words = counts[0][0].accum_words_req;
+    hw.spad_words = counts[0][0].spad_words_req;
+    for (size_t li = 1; li < num_layers; ++li) {
+        hw.accum_words = max(hw.accum_words,
+                counts[li][0].accum_words_req);
+        hw.spad_words = max(hw.spad_words,
+                counts[li][0].spad_words_req);
+    }
+    hw.accum_words = max(hw.accum_words, Var(1.0));
+    hw.spad_words = max(hw.spad_words, Var(1.0));
+
+    // Per-layer energy/latency, blended across orderings for Softmax
+    // (Eq 15-17, with the inverse-EDP scores normalized by the best
+    // option so the softmax operates on O(1) values).
+    if (!mode.layer_weights.empty() &&
+        mode.layer_weights.size() != num_layers)
+        panic("evalObjective: layer_weights size mismatch");
+
+    Var total_energy(0.0), total_latency(0.0);
+    for (size_t li = 0; li < num_layers; ++li) {
+        double cnt = static_cast<double>(layers[li].count);
+        if (!mode.layer_weights.empty())
+            cnt *= mode.layer_weights[li];
+        std::vector<OrderVec> l_orders = layer_orders(li);
+        std::vector<LayerPerf<Var>> perfs;
+        for (size_t oi = 0; oi < counts[li].size(); ++oi) {
+            LayerPerf<Var> p = computePerf(counts[li][oi], hw);
+            if (mode.latency_model) {
+                p.latency = mode.latency_model->latency(layers[li],
+                        factors[li], l_orders[oi], p.latency, hw);
+            }
+            perfs.push_back(p);
+        }
+
+        Var e_l, l_l;
+        if (perfs.size() == 1) {
+            e_l = perfs[0].energy_uj;
+            l_l = perfs[0].latency;
+        } else {
+            std::vector<Var> scores;
+            double best_edp = ad::val(perfs[0].energy_uj) *
+                              ad::val(perfs[0].latency);
+            for (const auto &p : perfs)
+                best_edp = std::min(best_edp,
+                        ad::val(p.energy_uj) * ad::val(p.latency));
+            for (const auto &p : perfs)
+                scores.push_back(Var(best_edp) /
+                        (p.energy_uj * p.latency));
+            std::vector<Var> w = ad::softmax(scores);
+            e_l = Var(0.0);
+            l_l = Var(0.0);
+            for (size_t oi = 0; oi < perfs.size(); ++oi) {
+                e_l = e_l + w[oi] * perfs[oi].energy_uj;
+                l_l = l_l + w[oi] * perfs[oi].latency;
+            }
+        }
+        total_energy = total_energy + Var(cnt) * e_l;
+        total_latency = total_latency + Var(cnt) * l_l;
+    }
+
+    Var loss = log(total_energy) + log(total_latency) +
+               Var(mode.penalty_weight) * penalty;
+    if (mode.max_area_mm2 > 0.0) {
+        Var area = AreaModel::areaMm2(hw.cpe, hw.accum_words,
+                hw.spad_words);
+        loss = loss + Var(mode.penalty_weight) *
+                relu(area / Var(mode.max_area_mm2) - Var(1.0));
+    }
+
+    ObjectiveEval out;
+    out.loss = loss.value();
+    out.energy_uj = total_energy.value();
+    out.latency = total_latency.value();
+    out.edp = out.energy_uj * out.latency;
+    out.penalty = penalty.value();
+    std::vector<double> adj = tape.gradient(loss.id());
+    out.grad.resize(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        out.grad[i] = adj[size_t(leaf_ids[i])];
+    return out;
+}
+
+} // namespace dosa

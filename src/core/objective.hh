@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The differentiable DOSA objective (Sections 4.5, 5.1-5.3).
+ *
+ * Tiling factors are optimized in log-space (f = exp(x)), a better
+ * conditioned but otherwise equivalent parameterization of the paper's
+ * raw factors. The loss is log(total energy) + log(total latency)
+ * plus the Eq 18 validity penalty — the log transform keeps the hinge
+ * penalty on a comparable scale with the EDP term while preserving
+ * the EDP minimizers.
+ *
+ * DRAM temporal factors are never free variables: they are inferred by
+ * dividing the problem size by the inner-factor product (Section 5.3.3)
+ * and penalized when they fall below 1.
+ */
+
+#ifndef DOSA_CORE_OBJECTIVE_HH
+#define DOSA_CORE_OBJECTIVE_HH
+
+#include <vector>
+
+#include "arch/hardware_config.hh"
+#include "mapping/mapping.hh"
+#include "model/analytical.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/**
+ * Pluggable differentiable latency model (Section 6.5): replaces or
+ * augments the analytical latency inside the gradient-descent
+ * objective. Implementations receive the analytical prediction plus
+ * the full mapping context on the autodiff tape.
+ */
+class DiffLatencyModel
+{
+  public:
+    virtual ~DiffLatencyModel() = default;
+
+    /** Adjusted latency for one layer/ordering on the tape. */
+    virtual ad::Var latency(const Layer &layer,
+                            const Factors<ad::Var> &factors,
+                            const OrderVec &order,
+                            const ad::Var &analytical_latency,
+                            const HwScalars<ad::Var> &hw) const = 0;
+};
+
+/** Loop-ordering search strategies (Section 5.2 / Fig. 6). */
+enum class OrderStrategy
+{
+    Fixed,   ///< "Baseline": weight-stationary everywhere
+    Iterate, ///< re-select the best ordering at each rounding
+    Softmax, ///< blend orderings with softmax weights every step
+};
+
+/** Name of a strategy ("Baseline", "Iterate", "Softmax"). */
+const char *strategyName(OrderStrategy s);
+
+/** Objective-evaluation mode. */
+struct ObjectiveMode
+{
+    /**
+     * When true the PE array is frozen to `pe_dim` (Fig. 12: buffer
+     * sizes and mappings are searched for a fixed 16x16 Gemmini);
+     * otherwise C_PE is derived from the spatial factors (Eq 1).
+     */
+    bool fix_pe = false;
+    int64_t pe_dim = 16;
+
+    /** Weight of the Eq 18 validity penalty in the loss. */
+    double penalty_weight = 100.0;
+
+    /**
+     * Optional silicon-area budget in mm^2 (0 = unconstrained); the
+     * Section 6.5.3 "area as a third objective" extension. Inside the
+     * loss this adds a hinge on the differentiable area estimate;
+     * concrete designs over budget are rejected by the driver.
+     */
+    double max_area_mm2 = 0.0;
+
+    /**
+     * Optional learned/augmented latency model applied inside the
+     * objective (nullptr = pure analytical latency). Not owned.
+     */
+    const DiffLatencyModel *latency_model = nullptr;
+
+    /**
+     * Optional per-layer loss weights (Section 4.5's noted extension:
+     * "the flexibility of the GD loss function also enables the user
+     * to weight layers differently"). When set, layer l's energy and
+     * latency contributions are scaled by layer_weights[l] on top of
+     * its repeat count. Empty = uniform weighting.
+     */
+    std::vector<double> layer_weights;
+
+    /** Spatial cap used for penalties and rounding. */
+    int64_t peCap() const { return fix_pe ? pe_dim : kMaxPeDim; }
+};
+
+/** Per-layer variable layout: 21 temporal logs + log sC + log sK. */
+constexpr int kVarsPerLayer = kFactorsPerLayer;
+
+/** Value-and-gradient of one objective evaluation. */
+struct ObjectiveEval
+{
+    double loss = 0.0;
+    double energy_uj = 0.0;
+    double latency = 0.0;
+    double edp = 0.0;
+    double penalty = 0.0;
+    std::vector<double> grad; ///< d loss / d x, same layout as x
+};
+
+/** Pack a concrete mapping into log-space variables (per layer). */
+std::vector<double> packMapping(const Mapping &m);
+
+/** Unpack per-layer log variables into continuous factors. */
+Factors<double> unpackFactors(const std::vector<double> &x,
+                              size_t layer_index);
+
+/**
+ * Evaluate loss and gradient at x (size layers.size()*kVarsPerLayer).
+ *
+ * @param orders   Per-layer loop orderings (Fixed / Iterate modes).
+ *                 Ignored by the Softmax strategy, which blends the
+ *                 three uniform orderings per layer (Eq 15-17).
+ */
+ObjectiveEval evalObjective(const std::vector<Layer> &layers,
+                            const std::vector<double> &x,
+                            const std::vector<OrderVec> &orders,
+                            OrderStrategy strategy,
+                            const ObjectiveMode &mode);
+
+} // namespace dosa
+
+#endif // DOSA_CORE_OBJECTIVE_HH

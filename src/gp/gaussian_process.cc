@@ -1,0 +1,87 @@
+#include "gp/gaussian_process.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dosa {
+
+GaussianProcess::GaussianProcess(GpParams params) : params_(params) {}
+
+double
+GaussianProcess::kernel(const std::vector<double> &a,
+                        const std::vector<double> &b) const
+{
+    if (a.size() != b.size())
+        panic("GaussianProcess: feature size mismatch");
+    double d2 = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    double ls2 = params_.length_scale * params_.length_scale;
+    return params_.signal_var * std::exp(-0.5 * d2 / ls2);
+}
+
+void
+GaussianProcess::fit(const std::vector<std::vector<double>> &x,
+                     const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.empty())
+        panic("GaussianProcess::fit: bad training set");
+    x_ = x;
+    y_mean_ = 0.0;
+    for (double v : y)
+        y_mean_ += v;
+    y_mean_ /= static_cast<double>(y.size());
+
+    size_t n = x.size();
+    Matrix k(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j <= i; ++j) {
+            double v = kernel(x[i], x[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+    k.addDiagonal(params_.noise_var + 1e-10);
+    chol_ = std::make_unique<Cholesky>(k);
+
+    std::vector<double> centred(n);
+    for (size_t i = 0; i < n; ++i)
+        centred[i] = y[i] - y_mean_;
+    alpha_ = chol_->solve(centred);
+}
+
+double
+GaussianProcess::predictMean(const std::vector<double> &x) const
+{
+    if (!chol_)
+        panic("GaussianProcess: predict before fit");
+    double acc = y_mean_;
+    for (size_t i = 0; i < x_.size(); ++i)
+        acc += alpha_[i] * kernel(x, x_[i]);
+    return acc;
+}
+
+double
+GaussianProcess::predictVar(const std::vector<double> &x) const
+{
+    if (!chol_)
+        panic("GaussianProcess: predict before fit");
+    std::vector<double> kstar(x_.size());
+    for (size_t i = 0; i < x_.size(); ++i)
+        kstar[i] = kernel(x, x_[i]);
+    std::vector<double> v = chol_->solveLower(kstar);
+    double var = kernel(x, x);
+    for (double vi : v)
+        var -= vi * vi;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+GaussianProcess::lcb(const std::vector<double> &x, double kappa) const
+{
+    return predictMean(x) - kappa * std::sqrt(predictVar(x));
+}
+
+} // namespace dosa

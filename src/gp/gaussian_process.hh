@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Gaussian-process regression with an RBF kernel.
+ *
+ * This is the surrogate behind the BB-BO baseline (Section 6.1, after
+ * Spotlight): the optimizer fits a GP to observed (hardware, mapping)
+ * -> log-EDP samples and ranks unseen candidates by posterior mean
+ * (optionally lower-confidence bound).
+ */
+
+#ifndef DOSA_GP_GAUSSIAN_PROCESS_HH
+#define DOSA_GP_GAUSSIAN_PROCESS_HH
+
+#include <memory>
+#include <vector>
+
+#include "linalg/cholesky.hh"
+#include "linalg/matrix.hh"
+
+namespace dosa {
+
+/** Hyperparameters of the squared-exponential kernel. */
+struct GpParams
+{
+    double length_scale = 1.0; ///< shared isotropic length scale
+    double signal_var = 1.0;   ///< kernel amplitude sigma_f^2
+    double noise_var = 1e-4;   ///< observation noise sigma_n^2
+};
+
+/** GP regressor over fixed-dimension feature vectors. */
+class GaussianProcess
+{
+  public:
+    explicit GaussianProcess(GpParams params = {});
+
+    /**
+     * Fit to (x, y) pairs. Targets are internally centred on their
+     * mean; feature dimensions must agree across rows.
+     */
+    void fit(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &y);
+
+    /** Posterior mean at a point. Requires fit() first. */
+    double predictMean(const std::vector<double> &x) const;
+
+    /** Posterior variance at a point (>= 0, clipped). */
+    double predictVar(const std::vector<double> &x) const;
+
+    /**
+     * Lower confidence bound mean - kappa * std; the BO baseline
+     * minimizes EDP, so lower is more promising.
+     */
+    double lcb(const std::vector<double> &x, double kappa) const;
+
+    /** Number of training points. */
+    size_t trainSize() const { return x_.size(); }
+
+  private:
+    double kernel(const std::vector<double> &a,
+                  const std::vector<double> &b) const;
+
+    GpParams params_;
+    std::vector<std::vector<double>> x_;
+    double y_mean_ = 0.0;
+    std::vector<double> alpha_; ///< K^-1 (y - mean)
+    std::unique_ptr<Cholesky> chol_;
+};
+
+} // namespace dosa
+
+#endif // DOSA_GP_GAUSSIAN_PROCESS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cholesky factorization and triangular solves for symmetric
+ * positive-definite systems (Gaussian-process posterior math).
+ */
+
+#ifndef DOSA_LINALG_CHOLESKY_HH
+#define DOSA_LINALG_CHOLESKY_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace dosa {
+
+/**
+ * Lower-triangular Cholesky factor of a symmetric positive-definite
+ * matrix. Construction panics on non-SPD input (after jitter, GP kernels
+ * are always SPD; failure indicates a bug upstream).
+ */
+class Cholesky
+{
+  public:
+    /** Factor a; a must be square SPD. */
+    explicit Cholesky(const Matrix &a);
+
+    /** Solve A x = b via forward+backward substitution. */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+    /** Solve L y = b (forward substitution only). */
+    std::vector<double> solveLower(const std::vector<double> &b) const;
+
+    /** log(det(A)) = 2 * sum(log(diag(L))). */
+    double logDet() const;
+
+    /** The lower-triangular factor. */
+    const Matrix &factor() const { return l_; }
+
+  private:
+    Matrix l_;
+};
+
+} // namespace dosa
+
+#endif // DOSA_LINALG_CHOLESKY_HH

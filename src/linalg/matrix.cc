@@ -1,0 +1,83 @@
+#include "linalg/matrix.hh"
+
+#include "util/logging.hh"
+
+namespace dosa {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::matmul(const Matrix &other) const
+{
+    if (cols_ != other.rows_)
+        panic("Matrix::matmul: shape mismatch");
+    Matrix out(rows_, other.cols_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += a * other(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::matvec(const std::vector<double> &v) const
+{
+    if (cols_ != v.size())
+        panic("Matrix::matvec: shape mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < cols_; ++j)
+            acc += (*this)(i, j) * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_, 0.0);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+void
+Matrix::addDiagonal(double value)
+{
+    size_t n = rows_ < cols_ ? rows_ : cols_;
+    for (size_t i = 0; i < n; ++i)
+        (*this)(i, i) += value;
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        panic("dot: size mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace dosa

@@ -1,0 +1,148 @@
+#include "loopnest/interpreter.hh"
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "model/analytical.hh" // orderPermutation
+#include "util/logging.hh"
+
+namespace dosa {
+
+namespace {
+
+/** One temporal loop of the executable nest. */
+struct Loop
+{
+    Dim dim;
+    int64_t bound;
+};
+
+/** Nest outermost-first over temporal loops at levels >= level. */
+std::vector<Loop>
+outerNest(const Mapping &m, int level)
+{
+    std::vector<Loop> nest;
+    for (int lvl = kNumLevels - 1; lvl >= level; --lvl) {
+        const auto &perm = orderPermutation(m.order[size_t(lvl)]);
+        for (Dim d : perm)
+            nest.push_back({d, m.factors.t(lvl, d)});
+    }
+    return nest;
+}
+
+} // namespace
+
+double
+refetchWalkIterations(const Mapping &mapping, int level)
+{
+    double total = 1.0;
+    for (const Loop &l : outerNest(mapping, level))
+        total *= static_cast<double>(l.bound);
+    return total;
+}
+
+double
+observedRefetches(const Layer &layer, const Mapping &mapping, int level,
+                  Tensor t)
+{
+    (void)layer;
+    std::vector<Loop> nest = outerNest(mapping, level);
+    size_t n = nest.size();
+    std::vector<int64_t> idx(n, 0);
+
+    // The tile identity is the tuple of indices of relevant loops.
+    auto relevant_tuple = [&]() {
+        std::vector<int64_t> key;
+        key.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            if (dimRelevant(t, nest[i].dim))
+                key.push_back(idx[i]);
+        return key;
+    };
+
+    double fetches = 1.0; // the initial fill
+    std::vector<int64_t> current = relevant_tuple();
+    // Odometer walk, innermost loop fastest.
+    while (true) {
+        size_t pos = n;
+        while (pos > 0) {
+            --pos;
+            if (++idx[pos] < nest[pos].bound)
+                break;
+            idx[pos] = 0;
+            if (pos == 0)
+                return fetches; // odometer wrapped: done
+        }
+        std::vector<int64_t> next = relevant_tuple();
+        if (next != current) {
+            fetches += 1.0;
+            current = std::move(next);
+        }
+    }
+}
+
+double
+observedTileWords(const Layer &layer, const Mapping &mapping, int level,
+                  Tensor t)
+{
+    // Inner loops: all temporal loops strictly below `level`, plus the
+    // spatial fanout (which physically sits below every SRAM).
+    std::vector<Loop> loops;
+    for (int lvl = level - 1; lvl >= 0; --lvl) {
+        const auto &perm = orderPermutation(mapping.order[size_t(lvl)]);
+        for (Dim d : perm)
+            loops.push_back({d, mapping.factors.t(lvl, d)});
+    }
+    loops.push_back({Dim::C, mapping.factors.spatial_c});
+    loops.push_back({Dim::K, mapping.factors.spatial_k});
+
+    size_t n = loops.size();
+    std::vector<int64_t> idx(n, 0);
+
+    // Combined per-dimension coordinate inside the tile: mixed-radix
+    // over all inner loops of that dimension.
+    auto coord = [&](Dim d) {
+        int64_t c = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (loops[i].dim == d)
+                c = c * loops[i].bound + idx[i];
+        }
+        return c;
+    };
+
+    std::set<std::tuple<int64_t, int64_t, int64_t, int64_t>> words;
+    while (true) {
+        switch (t) {
+          case Tensor::Weight:
+            words.insert({coord(Dim::R), coord(Dim::S), coord(Dim::C),
+                          coord(Dim::K)});
+            break;
+          case Tensor::Input: {
+            int64_t h = layer.stride * coord(Dim::P) + coord(Dim::R);
+            int64_t w = layer.stride * coord(Dim::Q) + coord(Dim::S);
+            words.insert({coord(Dim::C), coord(Dim::N), h, w});
+            break;
+          }
+          case Tensor::Output:
+            words.insert({coord(Dim::P), coord(Dim::Q), coord(Dim::K),
+                          coord(Dim::N)});
+            break;
+        }
+        size_t pos = n;
+        bool done = true;
+        while (pos > 0) {
+            --pos;
+            if (++idx[pos] < loops[pos].bound) {
+                done = false;
+                break;
+            }
+            idx[pos] = 0;
+        }
+        if (done)
+            break;
+    }
+    return static_cast<double>(words.size());
+}
+
+} // namespace dosa

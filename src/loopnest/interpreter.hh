@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Brute-force loop-nest interpreter.
+ *
+ * Where the paper trusts Timeloop as ground truth, this repository adds
+ * a third, independent validation layer: the mapped loop nest is
+ * actually *executed* (as an iteration-space walk) on small layers, and
+ * tile residency / refetch behaviour is observed directly rather than
+ * computed in closed form. Tests cross-check both the differentiable
+ * model and the reference model against these observations.
+ *
+ * Costs are exponential in the loop bounds, so this is only invoked on
+ * tiny problems (tests keep total iterations in the thousands).
+ */
+
+#ifndef DOSA_LOOPNEST_INTERPRETER_HH
+#define DOSA_LOOPNEST_INTERPRETER_HH
+
+#include <cstdint>
+
+#include "mapping/mapping.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/**
+ * Observed number of times the tile of tensor t held at `level` changes
+ * while the temporal loops at levels >= level run in mapping order
+ * (odometer walk; a change in any relevant loop index is a refetch).
+ * Equals the model's refetch multiplier by construction of the model.
+ */
+double observedRefetches(const Layer &layer, const Mapping &mapping,
+                         int level, Tensor t);
+
+/**
+ * Observed number of distinct tensor-t words touched inside one
+ * residency window of `level`: all temporal loops below the level plus
+ * the spatial fanout are enumerated and unique word coordinates
+ * counted. For inputs this observes true halo overlap, so it can be
+ * smaller than the model's dense bounding-box footprint when
+ * stride > R (or S); otherwise it matches exactly.
+ */
+double observedTileWords(const Layer &layer, const Mapping &mapping,
+                         int level, Tensor t);
+
+/** Total iterations the refetch walk would take (guard for tests). */
+double refetchWalkIterations(const Mapping &mapping, int level);
+
+} // namespace dosa
+
+#endif // DOSA_LOOPNEST_INTERPRETER_HH

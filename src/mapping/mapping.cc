@@ -1,0 +1,137 @@
+#include "mapping/mapping.hh"
+
+#include <sstream>
+
+#include "util/divisors.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dosa {
+
+const char *
+orderName(LoopOrder o)
+{
+    switch (o) {
+      case LoopOrder::WS: return "WS";
+      case LoopOrder::IS: return "IS";
+      case LoopOrder::OS: return "OS";
+    }
+    return "?";
+}
+
+OrderVec
+uniformOrder(LoopOrder o)
+{
+    OrderVec v;
+    v.fill(o);
+    v[kRegisters] = LoopOrder::WS;
+    return v;
+}
+
+int64_t
+Mapping::dimProduct(Dim d) const
+{
+    int64_t prod = 1;
+    for (int lvl = 0; lvl < kNumLevels; ++lvl) {
+        prod *= factors.t(lvl, d);
+        prod *= factors.spatialAt(lvl, d);
+    }
+    return prod;
+}
+
+bool
+Mapping::complete(const Layer &layer) const
+{
+    for (Dim d : kAllDims)
+        if (dimProduct(d) != layer.size(d))
+            return false;
+    return true;
+}
+
+bool
+Mapping::positive() const
+{
+    for (int lvl = 0; lvl < kNumLevels; ++lvl)
+        for (Dim d : kAllDims)
+            if (factors.t(lvl, d) < 1)
+                return false;
+    return factors.spatial_c >= 1 && factors.spatial_k >= 1;
+}
+
+Factors<double>
+Mapping::continuousFactors() const
+{
+    Factors<double> f;
+    for (int lvl = 0; lvl < kNumLevels; ++lvl)
+        for (Dim d : kAllDims)
+            f.t(lvl, d) = static_cast<double>(factors.t(lvl, d));
+    f.spatial_c = static_cast<double>(factors.spatial_c);
+    f.spatial_k = static_cast<double>(factors.spatial_k);
+    return f;
+}
+
+std::string
+Mapping::str() const
+{
+    std::ostringstream os;
+    for (int lvl = kNumLevels - 1; lvl >= 0; --lvl) {
+        os << levelName(lvl) << "[" << orderName(order[size_t(lvl)])
+           << "]:";
+        if (lvl == kScratchpad && factors.spatial_k > 1)
+            os << " sK=" << factors.spatial_k;
+        if (lvl == kAccumulator && factors.spatial_c > 1)
+            os << " sC=" << factors.spatial_c;
+        for (Dim d : kAllDims) {
+            int64_t f = factors.t(lvl, d);
+            if (f > 1)
+                os << " " << dimName(d) << "=" << f;
+        }
+        if (lvl > 0)
+            os << " | ";
+    }
+    return os.str();
+}
+
+Mapping
+randomMapping(const Layer &layer, Rng &rng, int64_t pe_cap)
+{
+    Mapping m;
+    // Spatial factors: random divisors bounded by the PE cap.
+    {
+        const auto &cdivs = divisorsOf(layer.c);
+        std::vector<int64_t> ok;
+        for (int64_t d : cdivs)
+            if (d <= pe_cap)
+                ok.push_back(d);
+        m.factors.spatial_c = ok[size_t(rng.uniformInt(0,
+                static_cast<int64_t>(ok.size()) - 1))];
+    }
+    {
+        const auto &kdivs = divisorsOf(layer.k);
+        std::vector<int64_t> ok;
+        for (int64_t d : kdivs)
+            if (d <= pe_cap)
+                ok.push_back(d);
+        m.factors.spatial_k = ok[size_t(rng.uniformInt(0,
+                static_cast<int64_t>(ok.size()) - 1))];
+    }
+    // Temporal factors: split the residual of each dimension across the
+    // four levels.
+    for (Dim d : kAllDims) {
+        int64_t residual = layer.size(d);
+        if (d == Dim::C)
+            residual /= m.factors.spatial_c;
+        if (d == Dim::K)
+            residual /= m.factors.spatial_k;
+        auto split = randomFactorSplit(residual, kNumLevels, rng);
+        for (int lvl = 0; lvl < kNumLevels; ++lvl)
+            m.factors.t(lvl, d) = split[size_t(lvl)];
+    }
+    // Random ordering per level above the registers.
+    for (int lvl = kAccumulator; lvl < kNumLevels; ++lvl)
+        m.order[size_t(lvl)] =
+                static_cast<LoopOrder>(rng.uniformInt(0, kNumOrders - 1));
+    return m;
+}
+
+} // namespace dosa

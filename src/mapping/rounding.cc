@@ -1,0 +1,47 @@
+#include "mapping/rounding.hh"
+
+#include "util/divisors.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+Mapping
+roundToValid(const Factors<double> &factors, const Layer &layer,
+             const OrderVec &order, int64_t pe_cap)
+{
+    Mapping m;
+    m.order = order;
+
+    for (Dim d : kAllDims) {
+        int64_t remaining = layer.size(d);
+
+        // Innermost to outermost: registers temporal, spatial C,
+        // accumulator temporal, spatial K, scratchpad temporal; the
+        // DRAM temporal absorbs whatever is left.
+        auto take = [&](double want, int64_t cap) {
+            int64_t f = cap > 0
+                    ? nearestDivisorAtMost(remaining, want, cap)
+                    : nearestDivisor(remaining, want);
+            remaining /= f;
+            return f;
+        };
+
+        m.factors.t(kRegisters, d) =
+                take(factors.t(kRegisters, d), 0);
+        if (d == Dim::C)
+            m.factors.spatial_c = take(factors.spatial_c, pe_cap);
+        m.factors.t(kAccumulator, d) =
+                take(factors.t(kAccumulator, d), 0);
+        if (d == Dim::K)
+            m.factors.spatial_k = take(factors.spatial_k, pe_cap);
+        m.factors.t(kScratchpad, d) =
+                take(factors.t(kScratchpad, d), 0);
+        m.factors.t(kDram, d) = remaining;
+    }
+
+    if (!m.complete(layer) || !m.positive())
+        panic("roundToValid produced an invalid mapping");
+    return m;
+}
+
+} // namespace dosa

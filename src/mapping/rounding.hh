@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Rounding of continuous tiling factors to valid integer mappings
+ * (Section 5.3.2).
+ *
+ * Gradient descent produces non-integer factors; before a mapping is
+ * evaluated (or hardware inferred) each factor is rounded to the
+ * nearest divisor of the remaining per-dimension quota, iterating from
+ * the innermost to the outermost memory level. This divisor-quota chain
+ * guarantees that the per-dimension factor product equals the problem
+ * size exactly, with the outermost (DRAM) factor absorbing the residue
+ * (Section 5.3.3: DRAM factors are never free optimization variables).
+ */
+
+#ifndef DOSA_MAPPING_ROUNDING_HH
+#define DOSA_MAPPING_ROUNDING_HH
+
+#include <cstdint>
+
+#include "mapping/mapping.hh"
+
+namespace dosa {
+
+/**
+ * Round continuous factors to the nearest valid integer mapping.
+ *
+ * @param factors  Continuous factors; the DRAM temporal entries are
+ *                 ignored (inferred from the quota residue).
+ * @param layer    Problem shape providing per-dimension totals.
+ * @param order    Loop orderings to attach to the result.
+ * @param pe_cap   Upper bound on each spatial factor (PE-array side).
+ * @return A complete, positive mapping for `layer`.
+ */
+Mapping roundToValid(const Factors<double> &factors, const Layer &layer,
+                     const OrderVec &order, int64_t pe_cap = kMaxPeDim);
+
+} // namespace dosa
+
+#endif // DOSA_MAPPING_ROUNDING_HH

@@ -1,0 +1,29 @@
+#include "model/analytical.hh"
+
+namespace dosa {
+
+const std::array<Dim, kNumDims> &
+orderPermutation(LoopOrder o)
+{
+    // Outermost first. Each ordering pushes the dims irrelevant to its
+    // stationary tensor innermost: WS keeps weights resident across
+    // N/Q/P, IS keeps inputs resident across K, OS keeps outputs
+    // resident across C/S/R.
+    static const std::array<Dim, kNumDims> ws = {
+        Dim::K, Dim::C, Dim::S, Dim::R, Dim::N, Dim::Q, Dim::P,
+    };
+    static const std::array<Dim, kNumDims> is = {
+        Dim::N, Dim::C, Dim::Q, Dim::P, Dim::S, Dim::R, Dim::K,
+    };
+    static const std::array<Dim, kNumDims> os = {
+        Dim::N, Dim::K, Dim::Q, Dim::P, Dim::C, Dim::S, Dim::R,
+    };
+    switch (o) {
+      case LoopOrder::WS: return ws;
+      case LoopOrder::IS: return is;
+      case LoopOrder::OS: return os;
+    }
+    return ws;
+}
+
+} // namespace dosa

@@ -1,0 +1,175 @@
+#include "nn/mlp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dosa {
+
+Mlp::Mlp(std::vector<int> layer_sizes, uint64_t seed)
+    : sizes_(std::move(layer_sizes))
+{
+    if (sizes_.size() < 2 || sizes_.back() != 1)
+        panic("Mlp: need [input, hidden..., 1] layer sizes");
+    Rng rng(seed);
+    size_t n_layers = sizes_.size() - 1;
+    weight_.resize(n_layers);
+    bias_.resize(n_layers);
+    mw_.resize(n_layers);
+    vw_.resize(n_layers);
+    mb_.resize(n_layers);
+    vb_.resize(n_layers);
+    for (size_t l = 0; l < n_layers; ++l) {
+        size_t in = size_t(sizes_[l]);
+        size_t out = size_t(sizes_[l + 1]);
+        double scale = std::sqrt(2.0 / static_cast<double>(in));
+        weight_[l].resize(in * out);
+        for (double &w : weight_[l])
+            w = rng.gaussian(0.0, scale);
+        bias_[l].assign(out, 0.0);
+        mw_[l].assign(in * out, 0.0);
+        vw_[l].assign(in * out, 0.0);
+        mb_[l].assign(out, 0.0);
+        vb_[l].assign(out, 0.0);
+    }
+}
+
+size_t
+Mlp::paramCount() const
+{
+    size_t n = 0;
+    for (size_t l = 0; l < weight_.size(); ++l)
+        n += weight_[l].size() + bias_[l].size();
+    return n;
+}
+
+double
+Mlp::forwardCached(const std::vector<double> &x,
+                   std::vector<std::vector<double>> &acts) const
+{
+    acts.clear();
+    acts.push_back(x);
+    for (size_t l = 0; l + 1 < sizes_.size(); ++l) {
+        size_t in = size_t(sizes_[l]);
+        size_t out = size_t(sizes_[l + 1]);
+        std::vector<double> next(out, 0.0);
+        const std::vector<double> &a = acts.back();
+        for (size_t o = 0; o < out; ++o) {
+            double acc = bias_[l][o];
+            for (size_t i = 0; i < in; ++i)
+                acc += weight_[l][o * in + i] * a[i];
+            if (l + 2 < sizes_.size())
+                acc = relu(acc);
+            next[o] = acc;
+        }
+        acts.push_back(std::move(next));
+    }
+    return acts.back()[0];
+}
+
+double
+Mlp::predict(const std::vector<double> &x) const
+{
+    if (x.size() != size_t(sizes_.front()))
+        panic("Mlp::predict: input size mismatch");
+    std::vector<std::vector<double>> acts;
+    return forwardCached(x, acts);
+}
+
+void
+Mlp::backward(const std::vector<std::vector<double>> &acts,
+              double out_grad, std::vector<std::vector<double>> &gw,
+              std::vector<std::vector<double>> &gb) const
+{
+    size_t n_layers = sizes_.size() - 1;
+    std::vector<double> delta = {out_grad};
+    for (size_t li = n_layers; li-- > 0;) {
+        size_t in = size_t(sizes_[li]);
+        size_t out = size_t(sizes_[li + 1]);
+        const std::vector<double> &a = acts[li];
+        // ReLU derivative applies to hidden layers (post-activation
+        // stored in acts[li+1]; zero activation means dead unit).
+        std::vector<double> d = delta;
+        if (li + 1 < n_layers) {
+            for (size_t o = 0; o < out; ++o)
+                if (acts[li + 1][o] <= 0.0)
+                    d[o] = 0.0;
+        }
+        for (size_t o = 0; o < out; ++o) {
+            gb[li][o] += d[o];
+            for (size_t i = 0; i < in; ++i)
+                gw[li][o * in + i] += d[o] * a[i];
+        }
+        if (li == 0)
+            break;
+        std::vector<double> prev(in, 0.0);
+        for (size_t i = 0; i < in; ++i) {
+            double acc = 0.0;
+            for (size_t o = 0; o < out; ++o)
+                acc += weight_[li][o * in + i] * d[o];
+            prev[i] = acc;
+        }
+        delta = std::move(prev);
+    }
+}
+
+double
+Mlp::trainEpoch(const std::vector<std::vector<double>> &x,
+                const std::vector<double> &y, double lr,
+                uint64_t shuffle_seed, int batch_size)
+{
+    if (x.size() != y.size() || x.empty())
+        panic("Mlp::trainEpoch: bad dataset");
+    Rng rng(shuffle_seed);
+    std::vector<size_t> idx(x.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    rng.shuffle(idx);
+
+    size_t n_layers = sizes_.size() - 1;
+    std::vector<std::vector<double>> gw(n_layers), gb(n_layers);
+    double epoch_loss = 0.0;
+
+    for (size_t start = 0; start < idx.size();
+         start += size_t(batch_size)) {
+        size_t end = std::min(idx.size(), start + size_t(batch_size));
+        for (size_t l = 0; l < n_layers; ++l) {
+            gw[l].assign(weight_[l].size(), 0.0);
+            gb[l].assign(bias_[l].size(), 0.0);
+        }
+        double inv = 1.0 / static_cast<double>(end - start);
+        for (size_t s = start; s < end; ++s) {
+            std::vector<std::vector<double>> acts;
+            double pred = forwardCached(x[idx[s]], acts);
+            double err = pred - y[idx[s]];
+            epoch_loss += err * err;
+            backward(acts, 2.0 * err * inv, gw, gb);
+        }
+        // Adam update.
+        ++adam_t_;
+        const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+        double bc1 = 1.0 - std::pow(b1, adam_t_);
+        double bc2 = 1.0 - std::pow(b2, adam_t_);
+        for (size_t l = 0; l < n_layers; ++l) {
+            for (size_t i = 0; i < weight_[l].size(); ++i) {
+                mw_[l][i] = b1 * mw_[l][i] + (1 - b1) * gw[l][i];
+                vw_[l][i] = b2 * vw_[l][i] +
+                            (1 - b2) * gw[l][i] * gw[l][i];
+                weight_[l][i] -= lr * (mw_[l][i] / bc1) /
+                        (std::sqrt(vw_[l][i] / bc2) + eps);
+            }
+            for (size_t i = 0; i < bias_[l].size(); ++i) {
+                mb_[l][i] = b1 * mb_[l][i] + (1 - b1) * gb[l][i];
+                vb_[l][i] = b2 * vb_[l][i] +
+                            (1 - b2) * gb[l][i] * gb[l][i];
+                bias_[l][i] -= lr * (mb_[l][i] / bc1) /
+                        (std::sqrt(vb_[l][i] / bc2) + eps);
+            }
+        }
+    }
+    return epoch_loss / static_cast<double>(x.size());
+}
+
+} // namespace dosa

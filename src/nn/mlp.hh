@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multi-layer perceptron with manual backpropagation.
+ *
+ * This is the performance-prediction DNN of Section 4.7: the paper uses
+ * a Mind-Mappings-style network with 7 hidden fully-connected layers
+ * and ~5.7k parameters. Training is Adam on mean-squared error. The
+ * forward pass is additionally exposed as a template so the trained
+ * network can be evaluated on autodiff variables and embedded in the
+ * DOSA gradient-descent objective (the "DNN-augmented" search of
+ * Section 6.5).
+ */
+
+#ifndef DOSA_NN_MLP_HH
+#define DOSA_NN_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "autodiff/var.hh"
+#include "util/scalar_ops.hh"
+
+namespace dosa {
+
+/** Fully-connected ReLU network with a scalar linear output. */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes [input, hidden..., output]; output must be 1.
+     * @param seed        deterministic He-style initialization seed.
+     */
+    Mlp(std::vector<int> layer_sizes, uint64_t seed);
+
+    /** Scalar prediction for one input row. */
+    double predict(const std::vector<double> &x) const;
+
+    /**
+     * One epoch of minibatch Adam on MSE; returns the epoch's mean
+     * squared error. Row order is shuffled with `shuffle_seed`.
+     */
+    double trainEpoch(const std::vector<std::vector<double>> &x,
+                      const std::vector<double> &y, double lr,
+                      uint64_t shuffle_seed, int batch_size = 64);
+
+    /** Total trainable parameter count. */
+    size_t paramCount() const;
+
+    /** Input feature dimension. */
+    int inputSize() const { return sizes_.front(); }
+
+    /**
+     * Forward pass over a generic scalar type (double or ad::Var) with
+     * the trained weights held constant; used to differentiate the
+     * prediction with respect to mapping features.
+     */
+    template <class S>
+    S
+    forwardT(const std::vector<S> &x) const
+    {
+        std::vector<S> act = x;
+        for (size_t l = 0; l + 1 < sizes_.size(); ++l) {
+            size_t in = size_t(sizes_[l]);
+            size_t out = size_t(sizes_[l + 1]);
+            std::vector<S> next(out, S(0.0));
+            for (size_t o = 0; o < out; ++o) {
+                S acc = S(bias_[l][o]);
+                for (size_t i = 0; i < in; ++i)
+                    acc = acc + S(weight_[l][o * in + i]) * act[i];
+                if (l + 2 < sizes_.size())
+                    acc = relu(acc);
+                next[o] = acc;
+            }
+            act = std::move(next);
+        }
+        return act[0];
+    }
+
+  private:
+    /** Forward pass caching activations; returns output. */
+    double forwardCached(const std::vector<double> &x,
+                         std::vector<std::vector<double>> &acts) const;
+
+    /** Backprop one example, accumulating into gradient buffers. */
+    void backward(const std::vector<std::vector<double>> &acts,
+                  double out_grad,
+                  std::vector<std::vector<double>> &gw,
+                  std::vector<std::vector<double>> &gb) const;
+
+    std::vector<int> sizes_;
+    /** weight_[l] is row-major [out x in]. */
+    std::vector<std::vector<double>> weight_;
+    std::vector<std::vector<double>> bias_;
+
+    // Adam state per parameter tensor.
+    std::vector<std::vector<double>> mw_, vw_, mb_, vb_;
+    int adam_t_ = 0;
+};
+
+} // namespace dosa
+
+#endif // DOSA_NN_MLP_HH

@@ -1,0 +1,89 @@
+#include "rtl/gemmini_rtl.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/reference.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+double
+rtlLatency(const Layer &layer, const Mapping &mapping,
+           const HardwareConfig &hw, const RtlParams &params)
+{
+    RefEval ev = referenceEval(layer, mapping, hw);
+    auto at = [](Tensor t) { return size_t(static_cast<int>(t)); };
+
+    // ---- DMA transactions: every tile movement between DRAM and the
+    // SRAMs is one transaction. Transaction counts are refetch counts,
+    // i.e. traffic divided by the moved tile's size.
+    auto safe_div = [](double a, double b) {
+        return b > 0.0 ? a / b : 0.0;
+    };
+    double w_moves = safe_div(ev.writes[size_t(kScratchpad)]
+                                       [at(Tensor::Weight)],
+            std::max(1.0, ev.spad_w_tile_words));
+    double i_moves = safe_div(ev.writes[size_t(kScratchpad)]
+                                       [at(Tensor::Input)],
+            std::max(1.0, ev.spad_i_tile_words));
+    double o_moves = safe_div(ev.writes[size_t(kAccumulator)]
+                                       [at(Tensor::Output)] +
+                              ev.updates[size_t(kDram)],
+            std::max(1.0, ev.accum_words_req));
+    double transactions = w_moves + i_moves + o_moves;
+    double dma_cycles = transactions * params.dma_startup_cycles;
+
+    // ---- Systolic fill/drain: each accumulator tile computation pays
+    // a pipeline bubble proportional to the array side.
+    double acc_tiles = safe_div(ev.updates[size_t(kDram)],
+            std::max(1.0, ev.accum_words_req));
+    double fill_drain = acc_tiles * params.fill_drain_per_tile *
+            static_cast<double>(hw.pe_dim);
+
+    // ---- Instruction front-end: one instruction per moved tile and
+    // per compute tile.
+    double insn_cycles =
+            (transactions + acc_tiles) * params.insn_overhead_cycles;
+
+    // ---- Memory-side latencies with implementation penalties.
+    double sram_bw = 2.0 * std::sqrt(hw.cpe());
+    double spad_lat = ev.accesses[size_t(kScratchpad)] / sram_bw;
+    if (mapping.factors.spatial_c % params.spad_banks != 0)
+        spad_lat *= params.bank_conflict_factor;
+    double accum_lat = ev.accesses[size_t(kAccumulator)] / sram_bw;
+
+    double dram_lat =
+            ev.dram_bytes_quant / EnergyModel::kDramBandwidth;
+    // Narrow bursts: if the scratchpad input tile row is not a
+    // multiple of the burst size, each burst is partially wasted.
+    double row_words = layer.stride *
+            (static_cast<double>(mapping.factors.t(kRegisters, Dim::Q)) -
+             1.0) + static_cast<double>(layer.s);
+    if (std::fmod(row_words, kDramBlockBytes) != 0.0)
+        dram_lat *= params.unaligned_dram_factor;
+
+    double reg_lat = ev.accesses[size_t(kRegisters)] / (2.0 * hw.cpe());
+
+    double compute = layer.macs() /
+            (static_cast<double>(mapping.factors.spatial_c) *
+             static_cast<double>(mapping.factors.spatial_k));
+
+    // ---- Imperfect overlap: the machine achieves only a fraction of
+    // ideal max(compute, memory) overlap; the loser phase bleeds into
+    // the total.
+    double mem = std::max({reg_lat, accum_lat, spad_lat, dram_lat});
+    double ideal = std::max(compute, mem);
+    double hidden = std::min(compute, mem);
+    double base = ideal + (1.0 - params.overlap_efficiency) * hidden;
+
+    double total = base + dma_cycles + fill_drain + insn_cycles;
+
+    // Capacity violations: real hardware would need spill logic the
+    // mapper does not emit; penalize steeply instead of crashing.
+    if (!ev.fits)
+        total *= 10.0;
+    return total;
+}
+
+} // namespace dosa

@@ -1,0 +1,128 @@
+#include "search/bayes_opt.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gp/gaussian_process.hh"
+#include "model/reference.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+namespace {
+
+/** Rolling GP training set with a size cap (keeps the newest points). */
+struct TrainSet
+{
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    size_t cap;
+
+    explicit TrainSet(size_t cap_) : cap(cap_) {}
+
+    void
+    add(std::vector<double> features, double target)
+    {
+        if (x.size() >= cap) {
+            // Drop the oldest half to amortize erase cost.
+            size_t keep = cap / 2;
+            x.erase(x.begin(), x.end() - static_cast<long>(keep));
+            y.erase(y.begin(), y.end() - static_cast<long>(keep));
+        }
+        x.push_back(std::move(features));
+        y.push_back(target);
+    }
+};
+
+} // namespace
+
+SearchResult
+bayesOptSearch(const std::vector<Layer> &layers, const BayesOptConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    SearchResult result;
+    TrainSet train(static_cast<size_t>(cfg.max_train_points));
+    GpParams gp_params;
+    gp_params.length_scale = 3.0;
+    gp_params.signal_var = 4.0;
+    gp_params.noise_var = 1e-2;
+    GaussianProcess gp(gp_params);
+    bool gp_ready = false;
+
+    auto evaluate_design = [&](const HardwareConfig &hw,
+                               const std::vector<Mapping> &maps) {
+        double e = 0.0, l = 0.0;
+        for (size_t li = 0; li < layers.size(); ++li) {
+            RefEval ev = referenceEval(layers[li], maps[li], hw);
+            double cnt = static_cast<double>(layers[li].count);
+            e += cnt * ev.energy_uj;
+            l += cnt * ev.latency;
+            double layer_edp = ev.energy_uj * ev.latency;
+            train.add(encodeFeatures(layers[li], maps[li], hw),
+                      std::log(std::max(layer_edp, 1e-30)));
+        }
+        double edp = e * l;
+        if (edp < result.best_edp) {
+            result.best_hw = hw;
+            result.best_mappings = maps;
+        }
+        result.record(edp);
+        return edp;
+    };
+
+    for (int sample = 0; sample < cfg.total_samples; ++sample) {
+        HardwareConfig hw;
+        std::vector<Mapping> maps(layers.size());
+
+        if (sample < cfg.warmup_samples || !gp_ready) {
+            hw = randomHardware(rng);
+            for (size_t li = 0; li < layers.size(); ++li)
+                maps[li] = randomValidMapping(layers[li], hw, rng);
+        } else {
+            // Inner loop: per candidate hardware, pick the LCB-best
+            // mapping per layer; outer loop: pick the hardware whose
+            // predicted network score is best.
+            double best_score =
+                    std::numeric_limits<double>::infinity();
+            for (int hc = 0; hc < cfg.hw_candidates; ++hc) {
+                HardwareConfig cand_hw = randomHardware(rng);
+                std::vector<Mapping> cand_maps(layers.size());
+                double score = 0.0;
+                for (size_t li = 0; li < layers.size(); ++li) {
+                    double best_lcb =
+                            std::numeric_limits<double>::infinity();
+                    for (int mc = 0; mc < cfg.map_candidates; ++mc) {
+                        Mapping m = randomValidMapping(layers[li],
+                                cand_hw, rng, 16);
+                        double v = gp.lcb(encodeFeatures(layers[li], m,
+                                cand_hw), cfg.lcb_kappa);
+                        if (v < best_lcb) {
+                            best_lcb = v;
+                            cand_maps[li] = m;
+                        }
+                    }
+                    // Sum of per-layer log-EDP LCBs scores the design.
+                    score += best_lcb *
+                            static_cast<double>(layers[li].count);
+                }
+                if (score < best_score) {
+                    best_score = score;
+                    hw = cand_hw;
+                    maps = std::move(cand_maps);
+                }
+            }
+        }
+
+        evaluate_design(hw, maps);
+
+        bool refit_now = (sample + 1 == cfg.warmup_samples) ||
+                (gp_ready && (sample % cfg.refit_every == 0));
+        if (refit_now && !train.x.empty()) {
+            gp.fit(train.x, train.y);
+            gp_ready = true;
+        }
+    }
+    return result;
+}
+
+} // namespace dosa

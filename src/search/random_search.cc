@@ -1,0 +1,95 @@
+#include "search/random_search.hh"
+
+#include "model/reference.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+SearchResult
+randomSearch(const std::vector<Layer> &layers,
+             const RandomSearchConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    SearchResult result;
+
+    for (int h = 0; h < cfg.hw_designs; ++h) {
+        HardwareConfig hw = randomHardware(rng);
+        // Per-layer best mapping under this hardware.
+        std::vector<Mapping> best(layers.size());
+        std::vector<double> best_layer_edp(layers.size(),
+                std::numeric_limits<double>::infinity());
+        std::vector<double> best_energy(layers.size(), 0.0);
+        std::vector<double> best_latency(layers.size(), 0.0);
+
+        for (int s = 0; s < cfg.mappings_per_hw; ++s) {
+            // One sample: a fresh mapping per layer.
+            for (size_t li = 0; li < layers.size(); ++li) {
+                Mapping m = randomValidMapping(layers[li], hw, rng);
+                RefEval ev = referenceEval(layers[li], m, hw);
+                double layer_edp = ev.energy_uj * ev.latency;
+                if (layer_edp < best_layer_edp[li]) {
+                    best_layer_edp[li] = layer_edp;
+                    best[li] = m;
+                    best_energy[li] = ev.energy_uj;
+                    best_latency[li] = ev.latency;
+                }
+            }
+            // Network EDP with the incumbent per-layer mappings.
+            double e = 0.0, l = 0.0;
+            for (size_t li = 0; li < layers.size(); ++li) {
+                double cnt = static_cast<double>(layers[li].count);
+                e += cnt * best_energy[li];
+                l += cnt * best_latency[li];
+            }
+            double edp = e * l;
+            if (edp < result.best_edp) {
+                result.best_hw = hw;
+                result.best_mappings = best;
+            }
+            result.record(edp);
+        }
+    }
+    return result;
+}
+
+SearchResult
+randomMapperSearch(const std::vector<Layer> &layers,
+                   const HardwareConfig &hw, int samples, uint64_t seed)
+{
+    Rng rng(seed);
+    SearchResult result;
+    std::vector<Mapping> best(layers.size());
+    std::vector<double> best_layer_edp(layers.size(),
+            std::numeric_limits<double>::infinity());
+    std::vector<double> best_energy(layers.size(), 0.0);
+    std::vector<double> best_latency(layers.size(), 0.0);
+
+    for (int s = 0; s < samples; ++s) {
+        for (size_t li = 0; li < layers.size(); ++li) {
+            Mapping m = randomValidMapping(layers[li], hw, rng);
+            RefEval ev = referenceEval(layers[li], m, hw);
+            double layer_edp = ev.energy_uj * ev.latency;
+            if (layer_edp < best_layer_edp[li]) {
+                best_layer_edp[li] = layer_edp;
+                best[li] = m;
+                best_energy[li] = ev.energy_uj;
+                best_latency[li] = ev.latency;
+            }
+        }
+        double e = 0.0, l = 0.0;
+        for (size_t li = 0; li < layers.size(); ++li) {
+            double cnt = static_cast<double>(layers[li].count);
+            e += cnt * best_energy[li];
+            l += cnt * best_latency[li];
+        }
+        double edp = e * l;
+        if (edp < result.best_edp) {
+            result.best_hw = hw;
+            result.best_mappings = best;
+        }
+        result.record(edp);
+    }
+    return result;
+}
+
+} // namespace dosa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Random-search co-design baseline (Section 6.1).
+ *
+ * Samples hardware design points and, for each, random valid mappings
+ * per layer; the best mapping per layer (by per-layer EDP) defines the
+ * design's performance. Also provides the fixed-hardware random mapper
+ * used by Fig. 8 (random-pruned Timeloop mapper stand-in) and Fig. 9.
+ */
+
+#ifndef DOSA_SEARCH_RANDOM_SEARCH_HH
+#define DOSA_SEARCH_RANDOM_SEARCH_HH
+
+#include <vector>
+
+#include "search/search_common.hh"
+
+namespace dosa {
+
+/** Configuration of the random co-search. */
+struct RandomSearchConfig
+{
+    int hw_designs = 10;        ///< hardware points to sample
+    int mappings_per_hw = 1000; ///< mapping samples per hardware point
+    uint64_t seed = 1;
+};
+
+/**
+ * Run random hardware+mapping co-search over the unique layers of a
+ * network. One sample = one mapping per layer on one hardware design.
+ */
+SearchResult randomSearch(const std::vector<Layer> &layers,
+                          const RandomSearchConfig &cfg);
+
+/**
+ * Fixed-hardware mapping search: `samples` random valid mappings per
+ * layer; returns the best mapping per layer by per-layer EDP, plus the
+ * resulting network EDP.
+ */
+SearchResult randomMapperSearch(const std::vector<Layer> &layers,
+                                const HardwareConfig &hw, int samples,
+                                uint64_t seed);
+
+} // namespace dosa
+
+#endif // DOSA_SEARCH_RANDOM_SEARCH_HH

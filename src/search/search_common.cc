@@ -1,0 +1,67 @@
+#include "search/search_common.hh"
+
+#include <cmath>
+
+#include "model/reference.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+void
+SearchResult::record(double edp)
+{
+    if (edp < best_edp)
+        best_edp = edp;
+    trace.push_back(best_edp);
+}
+
+HardwareConfig
+randomHardware(Rng &rng)
+{
+    static const int64_t pe_options[] = {4, 8, 16, 32, 64, 128};
+    HardwareConfig hw;
+    hw.pe_dim = pe_options[rng.uniformInt(0, 5)];
+    hw.accum_kib = static_cast<int64_t>(
+            std::llround(rng.logUniform(8.0, 512.0)));
+    hw.spad_kib = static_cast<int64_t>(
+            std::llround(rng.logUniform(16.0, 1024.0)));
+    return hw;
+}
+
+Mapping
+minimalMapping(const Layer &layer)
+{
+    Mapping m;
+    for (Dim d : kAllDims)
+        m.factors.t(kDram, d) = layer.size(d);
+    return m;
+}
+
+Mapping
+randomValidMapping(const Layer &layer, const HardwareConfig &hw, Rng &rng,
+                   int max_tries)
+{
+    for (int i = 0; i < max_tries; ++i) {
+        Mapping m = randomMapping(layer, rng, hw.pe_dim);
+        RefEval ev = referenceEval(layer, m, hw);
+        if (ev.fits)
+            return m;
+    }
+    return minimalMapping(layer);
+}
+
+std::vector<double>
+encodeFeatures(const Layer &layer, const Mapping &mapping,
+               const HardwareConfig &hw)
+{
+    std::vector<double> f = encodeFeaturesT<double>(layer,
+            mapping.continuousFactors(), mapping.order,
+            static_cast<double>(hw.pe_dim),
+            static_cast<double>(hw.accum_kib),
+            static_cast<double>(hw.spad_kib));
+    if (static_cast<int>(f.size()) != kFeatureSize)
+        panic("encodeFeatures: feature size drift");
+    return f;
+}
+
+} // namespace dosa

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared infrastructure for the DSE baselines: search traces, random
+ * hardware sampling, capacity-respecting random mappings and the
+ * feature encoding used by the learned surrogates.
+ *
+ * Sample-count convention (consistent across every searcher and with
+ * the paper's Fig. 7 x-axis): one sample = one full-network model
+ * evaluation, i.e. evaluating one mapping per unique layer on one
+ * hardware configuration.
+ */
+
+#ifndef DOSA_SEARCH_SEARCH_COMMON_HH
+#define DOSA_SEARCH_SEARCH_COMMON_HH
+
+#include <limits>
+#include <vector>
+
+#include "arch/hardware_config.hh"
+#include "autodiff/var.hh"
+#include "mapping/mapping.hh"
+#include "util/rng.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/** Outcome of a co-search run. */
+struct SearchResult
+{
+    double best_edp = std::numeric_limits<double>::infinity();
+    HardwareConfig best_hw;
+    std::vector<Mapping> best_mappings;
+    /** trace[i] = best EDP seen after i+1 samples. */
+    std::vector<double> trace;
+
+    /** Record a sample, maintaining the monotone best-so-far trace. */
+    void record(double edp);
+};
+
+/** Random hardware design point (log-uniform over the design ranges). */
+HardwareConfig randomHardware(Rng &rng);
+
+/**
+ * Random mapping guaranteed to fit `hw`: rejection-sample up to
+ * `max_tries`, then fall back to the minimal (all-at-DRAM) mapping
+ * which fits any configuration.
+ */
+Mapping randomValidMapping(const Layer &layer, const HardwareConfig &hw,
+                           Rng &rng, int max_tries = 64);
+
+/** The minimal mapping: unit tiles everywhere, all loops at DRAM. */
+Mapping minimalMapping(const Layer &layer);
+
+/**
+ * Feature vector for learned models: log-scaled layer dims, mapping
+ * factors (levels 0..2 + spatial), ordering one-hots and hardware
+ * parameters. Fixed length kFeatureSize.
+ */
+std::vector<double> encodeFeatures(const Layer &layer,
+                                   const Mapping &mapping,
+                                   const HardwareConfig &hw);
+
+/** Length of encodeFeatures output. */
+constexpr int kFeatureSize = 7    // layer dims
+        + 1                       // stride
+        + 21                      // temporal factors, levels 0..2
+        + 2                       // spatial factors
+        + 9                       // ordering one-hot, levels 1..3
+        + 3;                      // hardware parameters
+
+/**
+ * Templated feature encoder shared by the double path (encodeFeatures)
+ * and the autodiff path (surrogate models inside the GD objective).
+ * Factors below 1 are clamped to 1 before the log so gradients stay
+ * finite during unconstrained descent.
+ */
+template <class S>
+std::vector<S>
+encodeFeaturesT(const Layer &layer, const Factors<S> &factors,
+                const OrderVec &order, const S &pe_dim,
+                const S &accum_kib, const S &spad_kib)
+{
+    using std::log;
+    using std::max;
+    const double inv_ln2 = 1.4426950408889634;
+    auto lg = [&](const S &v) {
+        return log(max(v, S(1.0))) * S(inv_ln2);
+    };
+
+    std::vector<S> f;
+    f.reserve(kFeatureSize);
+    for (Dim d : kAllDims)
+        f.push_back(lg(S(static_cast<double>(layer.size(d)))));
+    f.push_back(S(static_cast<double>(layer.stride)));
+    for (int lvl = 0; lvl < kDram; ++lvl)
+        for (Dim d : kAllDims)
+            f.push_back(lg(factors.t(lvl, d)));
+    f.push_back(lg(factors.spatial_c));
+    f.push_back(lg(factors.spatial_k));
+    for (int lvl = kAccumulator; lvl < kNumLevels; ++lvl)
+        for (int o = 0; o < kNumOrders; ++o)
+            f.push_back(S(order[size_t(lvl)] ==
+                    static_cast<LoopOrder>(o) ? 1.0 : 0.0));
+    f.push_back(lg(pe_dim));
+    f.push_back(lg(accum_kib));
+    f.push_back(lg(spad_kib));
+    return f;
+}
+
+} // namespace dosa
+
+#endif // DOSA_SEARCH_SEARCH_COMMON_HH

@@ -1,0 +1,70 @@
+#include "surrogate/dataset.hh"
+
+#include <numeric>
+
+#include "model/reference.hh"
+#include "rtl/gemmini_rtl.hh"
+#include "search/search_common.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "workload/model_zoo.hh"
+
+namespace dosa {
+
+void
+SurrogateDataset::add(const Layer &layer, const Mapping &mapping,
+                      const HardwareConfig &hw)
+{
+    layers.push_back(layer);
+    mappings.push_back(mapping);
+    hws.push_back(hw);
+    analytical.push_back(referenceEval(layer, mapping, hw).latency);
+    rtl.push_back(rtlLatency(layer, mapping, hw));
+    features.push_back(encodeFeatures(layer, mapping, hw));
+}
+
+SurrogateDataset
+generateSurrogateDataset(int n, uint64_t seed, int64_t pe_dim)
+{
+    Rng rng(seed);
+    std::vector<Layer> pool = uniqueTrainingLayers();
+    if (pool.empty())
+        panic("generateSurrogateDataset: empty layer pool");
+
+    SurrogateDataset ds;
+    for (int i = 0; i < n; ++i) {
+        // Round-robin over the pool => roughly even distribution, as
+        // in the paper's 1567-sample dataset.
+        const Layer &layer = pool[size_t(i) % pool.size()];
+        HardwareConfig hw = randomHardware(rng);
+        hw.pe_dim = pe_dim;
+        Mapping m = randomValidMapping(layer, hw, rng);
+        ds.add(layer, m, hw);
+    }
+    return ds;
+}
+
+void
+splitDataset(const SurrogateDataset &all, double train_fraction,
+             uint64_t seed, SurrogateDataset &train,
+             SurrogateDataset &test)
+{
+    Rng rng(seed);
+    std::vector<size_t> idx(all.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    rng.shuffle(idx);
+    size_t n_train = static_cast<size_t>(
+            train_fraction * static_cast<double>(all.size()));
+    for (size_t r = 0; r < idx.size(); ++r) {
+        SurrogateDataset &dst = r < n_train ? train : test;
+        size_t i = idx[r];
+        dst.layers.push_back(all.layers[i]);
+        dst.mappings.push_back(all.mappings[i]);
+        dst.hws.push_back(all.hws[i]);
+        dst.analytical.push_back(all.analytical[i]);
+        dst.rtl.push_back(all.rtl[i]);
+        dst.features.push_back(all.features[i]);
+    }
+}
+
+} // namespace dosa

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dataset generation for the learned latency models (Section 6.5.1).
+ *
+ * The paper collects 1567 random mappings, roughly evenly distributed
+ * over the training-workload layers (Table 6), and measures their
+ * Gemmini-RTL latency with FireSim. Here the RTL-substitute simulator
+ * provides the measurements; the PE array is fixed at 16x16 (matching
+ * the Fig. 12 setup) while buffer sizes vary per sample.
+ */
+
+#ifndef DOSA_SURROGATE_DATASET_HH
+#define DOSA_SURROGATE_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/hardware_config.hh"
+#include "mapping/mapping.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/** A latency-prediction dataset of (layer, mapping, hw) triples. */
+struct SurrogateDataset
+{
+    std::vector<Layer> layers;
+    std::vector<Mapping> mappings;
+    std::vector<HardwareConfig> hws;
+    std::vector<double> analytical; ///< reference-model latency
+    std::vector<double> rtl;        ///< RTL-substitute latency
+    std::vector<std::vector<double>> features;
+
+    size_t size() const { return layers.size(); }
+
+    /** Append one sample (computes features + both latencies). */
+    void add(const Layer &layer, const Mapping &mapping,
+             const HardwareConfig &hw);
+};
+
+/**
+ * Generate `n` random-mapping samples over the training workloads.
+ * Deterministic in `seed`.
+ */
+SurrogateDataset generateSurrogateDataset(int n, uint64_t seed,
+                                          int64_t pe_dim = 16);
+
+/** Deterministic split into train/test by shuffled assignment. */
+void splitDataset(const SurrogateDataset &all, double train_fraction,
+                  uint64_t seed, SurrogateDataset &train,
+                  SurrogateDataset &test);
+
+} // namespace dosa
+
+#endif // DOSA_SURROGATE_DATASET_HH

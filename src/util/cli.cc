@@ -1,0 +1,59 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+
+namespace dosa {
+
+Cli::Cli(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            flags_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            flags_[body] = argv[++i];
+        } else {
+            flags_[body] = "";
+        }
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+Cli::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+int64_t
+Cli::getInt(const std::string &name, int64_t fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double
+Cli::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end() || it->second.empty())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace dosa

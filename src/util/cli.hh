@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by bench and example binaries.
+ *
+ * Supports `--flag` (boolean), `--key value` and `--key=value` forms.
+ */
+
+#ifndef DOSA_UTIL_CLI_HH
+#define DOSA_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dosa {
+
+/** Parsed command-line options. */
+class Cli
+{
+  public:
+    /** Parse argv; unrecognized positional args are kept in order. */
+    Cli(int argc, const char *const *argv);
+
+    /** True if --name was passed (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or fallback. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Integer value of --name, or fallback. */
+    int64_t getInt(const std::string &name, int64_t fallback) const;
+
+    /** Double value of --name, or fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Positional (non-flag) arguments. */
+    const std::vector<std::string> &positional() const { return pos_; }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> pos_;
+};
+
+} // namespace dosa
+
+#endif // DOSA_UTIL_CLI_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Divisor arithmetic used by mapping construction and rounding.
+ *
+ * Tiling factors of a loop dimension must multiply exactly to the problem
+ * size, so every factor manipulation in the mapspace reduces to divisor
+ * queries on (usually small) integers. Results are memoized because the
+ * same dimension sizes recur across thousands of mapping evaluations.
+ */
+
+#ifndef DOSA_UTIL_DIVISORS_HH
+#define DOSA_UTIL_DIVISORS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dosa {
+
+class Rng;
+
+/** Return the sorted list of positive divisors of n (n >= 1). Memoized. */
+const std::vector<int64_t> &divisorsOf(int64_t n);
+
+/**
+ * Return the divisor of n closest to target.
+ *
+ * Ties are broken toward the smaller divisor, matching the paper's
+ * "round to the nearest divisor" step (Section 5.3.2).
+ */
+int64_t nearestDivisor(int64_t n, double target);
+
+/**
+ * Return the divisor of n closest to target among divisors <= cap.
+ * cap must be >= 1.
+ */
+int64_t nearestDivisorAtMost(int64_t n, double target, int64_t cap);
+
+/** Largest divisor of n that is <= cap (cap >= 1). */
+int64_t largestDivisorAtMost(int64_t n, int64_t cap);
+
+/**
+ * Split n into `parts` integer factors whose product is exactly n,
+ * drawn uniformly-ish at random by repeatedly sampling a divisor of the
+ * remaining quota. Used by random-mapping generation.
+ */
+std::vector<int64_t> randomFactorSplit(int64_t n, int parts, Rng &rng);
+
+} // namespace dosa
+
+#endif // DOSA_UTIL_DIVISORS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers, modelled on gem5's
+ * inform()/warn()/fatal()/panic() conventions.
+ */
+
+#ifndef DOSA_UTIL_LOGGING_HH
+#define DOSA_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dosa {
+
+/** Print an informational message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** Print a warning message to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/**
+ * Terminate due to a user-facing error (bad configuration or arguments).
+ * Exits with status 1; this is not an internal invariant failure.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/**
+ * Terminate due to an internal invariant violation (a bug in this
+ * library, not user error). Aborts so a core/backtrace is available.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace dosa
+
+#endif // DOSA_UTIL_LOGGING_HH

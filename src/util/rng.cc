@@ -1,0 +1,51 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace dosa {
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::logUniform(double lo, double hi)
+{
+    double u = uniformReal(std::log(lo), std::log(hi));
+    return std::exp(u);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+Rng
+Rng::fork()
+{
+    // Draw two words so forked streams decorrelate from the parent.
+    uint64_t a = engine_();
+    uint64_t b = engine_();
+    return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace dosa

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * double overloads mirroring the ad::Var math vocabulary, so templated
+ * numeric code (the analytical model, the MLP forward pass) compiles
+ * unchanged for plain doubles and autodiff variables.
+ */
+
+#ifndef DOSA_UTIL_SCALAR_OPS_HH
+#define DOSA_UTIL_SCALAR_OPS_HH
+
+namespace dosa {
+
+/** max(x, 0), the hinge used by penalties and first-fill clamps. */
+inline double
+relu(double x)
+{
+    return x > 0.0 ? x : 0.0;
+}
+
+} // namespace dosa
+
+#endif // DOSA_UTIL_SCALAR_OPS_HH

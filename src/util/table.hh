@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table and CSV emission for benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series the paper reports through a
+ * TablePrinter and mirrors the data to a CSV file for post-processing.
+ */
+
+#ifndef DOSA_UTIL_TABLE_HH
+#define DOSA_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dosa {
+
+/** Buffered fixed-column table that renders aligned ASCII output. */
+class TablePrinter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to a string with aligned columns and a rule under headers. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+    /** Write headers+rows as CSV to the given path; returns success. */
+    bool writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed). */
+std::string fmt(double v, int precision = 3);
+
+/** Format a double in scientific notation. */
+std::string fmtSci(double v, int precision = 3);
+
+} // namespace dosa
+
+#endif // DOSA_UTIL_TABLE_HH

@@ -1,0 +1,142 @@
+#include "workload/layer.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace dosa {
+
+const char *
+dimName(Dim d)
+{
+    switch (d) {
+      case Dim::R: return "R";
+      case Dim::S: return "S";
+      case Dim::P: return "P";
+      case Dim::Q: return "Q";
+      case Dim::C: return "C";
+      case Dim::K: return "K";
+      case Dim::N: return "N";
+    }
+    return "?";
+}
+
+const char *
+tensorName(Tensor t)
+{
+    switch (t) {
+      case Tensor::Weight: return "W";
+      case Tensor::Input: return "I";
+      case Tensor::Output: return "O";
+    }
+    return "?";
+}
+
+int64_t
+Layer::size(Dim d) const
+{
+    switch (d) {
+      case Dim::R: return r;
+      case Dim::S: return s;
+      case Dim::P: return p;
+      case Dim::Q: return q;
+      case Dim::C: return c;
+      case Dim::K: return k;
+      case Dim::N: return n;
+    }
+    panic("Layer::size: bad dim");
+}
+
+double
+Layer::macs() const
+{
+    return static_cast<double>(r) * static_cast<double>(s) *
+           static_cast<double>(p) * static_cast<double>(q) *
+           static_cast<double>(c) * static_cast<double>(k) *
+           static_cast<double>(n);
+}
+
+double
+Layer::tensorWords(Tensor t) const
+{
+    switch (t) {
+      case Tensor::Weight:
+        return static_cast<double>(r) * static_cast<double>(s) *
+               static_cast<double>(c) * static_cast<double>(k);
+      case Tensor::Input:
+        return static_cast<double>(inputHeight()) *
+               static_cast<double>(inputWidth()) *
+               static_cast<double>(c) * static_cast<double>(n);
+      case Tensor::Output:
+        return static_cast<double>(p) * static_cast<double>(q) *
+               static_cast<double>(k) * static_cast<double>(n);
+    }
+    panic("Layer::tensorWords: bad tensor");
+}
+
+bool
+Layer::valid() const
+{
+    return r >= 1 && s >= 1 && p >= 1 && q >= 1 && c >= 1 && k >= 1 &&
+           n >= 1 && stride >= 1 && count >= 1;
+}
+
+std::string
+Layer::str() const
+{
+    std::ostringstream os;
+    os << name << " [R=" << r << " S=" << s << " P=" << p << " Q=" << q
+       << " C=" << c << " K=" << k << " N=" << n << " stride=" << stride
+       << " x" << count << "]";
+    return os.str();
+}
+
+bool
+Layer::sameShape(const Layer &o) const
+{
+    return r == o.r && s == o.s && p == o.p && q == o.q && c == o.c &&
+           k == o.k && n == o.n && stride == o.stride;
+}
+
+Layer
+Layer::gemm(std::string name, int64_t m, int64_t kred, int64_t nout,
+            int64_t batch, int64_t cnt)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.p = m;
+    l.c = kred;
+    l.k = nout;
+    l.n = batch;
+    l.count = cnt;
+    return l;
+}
+
+Layer
+Layer::conv(std::string name, int64_t rs, int64_t pq_out, int64_t cin,
+            int64_t kout, int64_t stride_, int64_t cnt, int64_t batch)
+{
+    Layer l;
+    l.name = std::move(name);
+    l.r = rs;
+    l.s = rs;
+    l.p = pq_out;
+    l.q = pq_out;
+    l.c = cin;
+    l.k = kout;
+    l.n = batch;
+    l.stride = stride_;
+    l.count = cnt;
+    return l;
+}
+
+double
+Network::totalMacs() const
+{
+    double acc = 0.0;
+    for (const Layer &l : layers)
+        acc += static_cast<double>(l.count) * l.macs();
+    return acc;
+}
+
+} // namespace dosa

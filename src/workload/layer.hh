@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Seven-dimensional DNN layer representation (Section 3.1.1).
+ *
+ * Both convolutions and matrix multiplications are expressed with the
+ * dimensions R (weight height), S (weight width), P (output height),
+ * Q (output width), C (input channels), K (output channels) and
+ * N (batch). A GEMM C[M,Nout] = A[M,Kred] * B[Kred,Nout] maps to
+ * P=M, C=Kred, K=Nout with R=S=Q=1.
+ */
+
+#ifndef DOSA_WORKLOAD_LAYER_HH
+#define DOSA_WORKLOAD_LAYER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dosa {
+
+/** Problem dimension index (Table 3 notation). */
+enum class Dim : int { R = 0, S, P, Q, C, K, N };
+
+/** Number of problem dimensions. */
+constexpr int kNumDims = 7;
+
+/** All dimensions in canonical order. */
+constexpr std::array<Dim, kNumDims> kAllDims = {
+    Dim::R, Dim::S, Dim::P, Dim::Q, Dim::C, Dim::K, Dim::N,
+};
+
+/** Short name of a dimension ("R", "S", ...). */
+const char *dimName(Dim d);
+
+/** Data tensors of a layer. */
+enum class Tensor : int { Weight = 0, Input, Output };
+
+/** Number of data tensors. */
+constexpr int kNumTensors = 3;
+
+/** All tensors in canonical order. */
+constexpr std::array<Tensor, kNumTensors> kAllTensors = {
+    Tensor::Weight, Tensor::Input, Tensor::Output,
+};
+
+/** Short name of a tensor ("W", "I", "O"). */
+const char *tensorName(Tensor t);
+
+/**
+ * Whether a problem dimension indexes a tensor (the D_W / D_I / D_O
+ * sets of Section 4.1.1): D_W = {R,S,C,K}, D_I = {R,S,P,Q,C,N},
+ * D_O = {P,Q,K,N}.
+ */
+constexpr bool
+dimRelevant(Tensor t, Dim d)
+{
+    switch (t) {
+      case Tensor::Weight:
+        return d == Dim::R || d == Dim::S || d == Dim::C || d == Dim::K;
+      case Tensor::Input:
+        return d != Dim::K;
+      case Tensor::Output:
+        return d == Dim::P || d == Dim::Q || d == Dim::K || d == Dim::N;
+    }
+    return false;
+}
+
+/**
+ * One matrix-multiplication or convolution layer.
+ *
+ * `count` records how many times the identical shape appears in its
+ * network; DOSA generates one mapping per unique shape and scales its
+ * energy/latency contribution by count (Section 4.5).
+ */
+struct Layer
+{
+    std::string name;
+    int64_t r = 1;      ///< weight height
+    int64_t s = 1;      ///< weight width
+    int64_t p = 1;      ///< output activation height
+    int64_t q = 1;      ///< output activation width
+    int64_t c = 1;      ///< input channels
+    int64_t k = 1;      ///< output channels
+    int64_t n = 1;      ///< batch size
+    int64_t stride = 1; ///< convolution stride (both axes)
+    int64_t count = 1;  ///< occurrences of this shape in the network
+
+    /** Size of dimension d. */
+    int64_t size(Dim d) const;
+
+    /** Total multiply-accumulate count, prod over all dims (Eq 7). */
+    double macs() const;
+
+    /** Input activation height: stride*(P-1)+R. */
+    int64_t inputHeight() const { return stride * (p - 1) + r; }
+
+    /** Input activation width: stride*(Q-1)+S. */
+    int64_t inputWidth() const { return stride * (q - 1) + s; }
+
+    /** Full tensor size in words. */
+    double tensorWords(Tensor t) const;
+
+    /** True if all dims are >= 1 (a well-formed shape). */
+    bool valid() const;
+
+    /** Human-readable "R=..,S=..,..." string. */
+    std::string str() const;
+
+    /** Shape equality ignoring name/count. */
+    bool sameShape(const Layer &o) const;
+
+    /** Convenience factory for a GEMM: out[m,nout] = a[m,kred]*b. */
+    static Layer gemm(std::string name, int64_t m, int64_t kred,
+                      int64_t nout, int64_t batch = 1, int64_t cnt = 1);
+
+    /** Convenience factory for a square-kernel convolution. */
+    static Layer conv(std::string name, int64_t rs, int64_t pq_out,
+                      int64_t cin, int64_t kout, int64_t stride_ = 1,
+                      int64_t cnt = 1, int64_t batch = 1);
+};
+
+/** A named network: an ordered list of unique layers with counts. */
+struct Network
+{
+    std::string name;
+    std::vector<Layer> layers;
+
+    /** Sum over layers of count * macs. */
+    double totalMacs() const;
+};
+
+} // namespace dosa
+
+#endif // DOSA_WORKLOAD_LAYER_HH

@@ -1,0 +1,304 @@
+#include "workload/model_zoo.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dosa {
+
+Network
+resnet50()
+{
+    Network net;
+    net.name = "resnet50";
+    auto &L = net.layers;
+    // Stem.
+    L.push_back(Layer::conv("conv1", 7, 112, 3, 64, 2));
+    // Stage 1 (56x56). Bottleneck: 1x1 reduce, 3x3, 1x1 expand.
+    L.push_back(Layer::conv("res2_b1_1x1a", 1, 56, 64, 64));
+    L.push_back(Layer::conv("res2_3x3", 3, 56, 64, 64, 1, 3));
+    L.push_back(Layer::conv("res2_1x1b", 1, 56, 64, 256, 1, 3));
+    L.push_back(Layer::conv("res2_down", 1, 56, 64, 256));
+    L.push_back(Layer::conv("res2_1x1a", 1, 56, 256, 64, 1, 2));
+    // Stage 2 (28x28).
+    L.push_back(Layer::conv("res3_1x1a_s", 1, 28, 256, 128));
+    L.push_back(Layer::conv("res3_3x3_s", 3, 28, 128, 128, 2));
+    L.push_back(Layer::conv("res3_down", 1, 28, 256, 512, 2));
+    L.push_back(Layer::conv("res3_1x1a", 1, 28, 512, 128, 1, 3));
+    L.push_back(Layer::conv("res3_3x3", 3, 28, 128, 128, 1, 3));
+    L.push_back(Layer::conv("res3_1x1b", 1, 28, 128, 512, 1, 4));
+    // Stage 3 (14x14).
+    L.push_back(Layer::conv("res4_1x1a_s", 1, 14, 512, 256));
+    L.push_back(Layer::conv("res4_3x3_s", 3, 14, 256, 256, 2));
+    L.push_back(Layer::conv("res4_down", 1, 14, 512, 1024, 2));
+    L.push_back(Layer::conv("res4_1x1a", 1, 14, 1024, 256, 1, 5));
+    L.push_back(Layer::conv("res4_3x3", 3, 14, 256, 256, 1, 5));
+    L.push_back(Layer::conv("res4_1x1b", 1, 14, 256, 1024, 1, 6));
+    // Stage 4 (7x7).
+    L.push_back(Layer::conv("res5_1x1a_s", 1, 7, 1024, 512));
+    L.push_back(Layer::conv("res5_3x3_s", 3, 7, 512, 512, 2));
+    L.push_back(Layer::conv("res5_down", 1, 7, 1024, 2048, 2));
+    L.push_back(Layer::conv("res5_1x1a", 1, 7, 2048, 512, 1, 2));
+    L.push_back(Layer::conv("res5_3x3", 3, 7, 512, 512, 1, 2));
+    L.push_back(Layer::conv("res5_1x1b", 1, 7, 512, 2048, 1, 3));
+    // Classifier.
+    L.push_back(Layer::gemm("fc1000", 1, 2048, 1000));
+    return net;
+}
+
+Network
+bertBase()
+{
+    // BERT-base: 12 encoder layers, hidden 768, 12 heads, FFN 3072.
+    // Sequence length 512 (the paper does not state it; 512 is the
+    // pre-training maximum and a common benchmark setting).
+    Network net;
+    net.name = "bert";
+    auto &L = net.layers;
+    const int64_t seq = 512, hid = 768, ffn = 3072, heads = 12;
+    const int64_t layers = 12, dhead = hid / heads;
+    // Q/K/V projections: 3 per encoder layer.
+    L.push_back(Layer::gemm("qkv_proj", seq, hid, hid, 1, 3 * layers));
+    // Attention scores QK^T: one GEMM per head, batched over heads.
+    L.push_back(Layer::gemm("attn_score", seq, dhead, seq, heads, layers));
+    // Attention context (scores x V).
+    L.push_back(Layer::gemm("attn_ctx", seq, seq, dhead, heads, layers));
+    // Output projection.
+    L.push_back(Layer::gemm("attn_out", seq, hid, hid, 1, layers));
+    // Feed-forward.
+    L.push_back(Layer::gemm("ffn1", seq, hid, ffn, 1, layers));
+    L.push_back(Layer::gemm("ffn2", seq, ffn, hid, 1, layers));
+    return net;
+}
+
+Network
+unet()
+{
+    // Classic U-Net contracting/expanding topology at a 256x256 input,
+    // channel doubling 64..1024, 3x3 convs, 2x2 up-convolutions.
+    Network net;
+    net.name = "unet";
+    auto &L = net.layers;
+    L.push_back(Layer::conv("enc1_a", 3, 256, 3, 64));
+    L.push_back(Layer::conv("enc1_b", 3, 256, 64, 64));
+    L.push_back(Layer::conv("enc2_a", 3, 128, 64, 128));
+    L.push_back(Layer::conv("enc2_b", 3, 128, 128, 128));
+    L.push_back(Layer::conv("enc3_a", 3, 64, 128, 256));
+    L.push_back(Layer::conv("enc3_b", 3, 64, 256, 256));
+    L.push_back(Layer::conv("enc4_a", 3, 32, 256, 512));
+    L.push_back(Layer::conv("enc4_b", 3, 32, 512, 512));
+    L.push_back(Layer::conv("bottleneck_a", 3, 16, 512, 1024));
+    L.push_back(Layer::conv("bottleneck_b", 3, 16, 1024, 1024));
+    // Decoder: 2x2 transposed convs then two 3x3 convs per level; the
+    // first 3x3 sees concatenated skip channels.
+    L.push_back(Layer::conv("up4", 2, 32, 1024, 512));
+    L.push_back(Layer::conv("dec4_a", 3, 32, 1024, 512));
+    L.push_back(Layer::conv("dec4_b", 3, 32, 512, 512));
+    L.push_back(Layer::conv("up3", 2, 64, 512, 256));
+    L.push_back(Layer::conv("dec3_a", 3, 64, 512, 256));
+    L.push_back(Layer::conv("dec3_b", 3, 64, 256, 256));
+    L.push_back(Layer::conv("up2", 2, 128, 256, 128));
+    L.push_back(Layer::conv("dec2_a", 3, 128, 256, 128));
+    L.push_back(Layer::conv("dec2_b", 3, 128, 128, 128));
+    L.push_back(Layer::conv("up1", 2, 256, 128, 64));
+    L.push_back(Layer::conv("dec1_a", 3, 256, 128, 64));
+    L.push_back(Layer::conv("dec1_b", 3, 256, 64, 64));
+    L.push_back(Layer::conv("out_1x1", 1, 256, 64, 2));
+    return net;
+}
+
+Network
+retinanet()
+{
+    // RetinaNet with an 800x800 input, excluding the ResNet backbone
+    // (Table 6 note). FPN feature sizes P3..P7: 100, 50, 25, 13, 7.
+    Network net;
+    net.name = "retinanet";
+    auto &L = net.layers;
+    // FPN lateral 1x1 convs from backbone stages C3/C4/C5.
+    L.push_back(Layer::conv("fpn_lat_c3", 1, 100, 512, 256));
+    L.push_back(Layer::conv("fpn_lat_c4", 1, 50, 1024, 256));
+    L.push_back(Layer::conv("fpn_lat_c5", 1, 25, 2048, 256));
+    // FPN output 3x3 smoothing convs.
+    L.push_back(Layer::conv("fpn_out_p3", 3, 100, 256, 256));
+    L.push_back(Layer::conv("fpn_out_p4", 3, 50, 256, 256));
+    L.push_back(Layer::conv("fpn_out_p5", 3, 25, 256, 256));
+    // Extra pyramid levels.
+    L.push_back(Layer::conv("fpn_p6", 3, 13, 2048, 256, 2));
+    L.push_back(Layer::conv("fpn_p7", 3, 7, 256, 256, 2));
+    // Classification + box subnets: 4 shared 3x3 convs each, applied
+    // at all 5 pyramid levels (8 convs per level).
+    L.push_back(Layer::conv("head_tower_p3", 3, 100, 256, 256, 1, 8));
+    L.push_back(Layer::conv("head_tower_p4", 3, 50, 256, 256, 1, 8));
+    L.push_back(Layer::conv("head_tower_p5", 3, 25, 256, 256, 1, 8));
+    L.push_back(Layer::conv("head_tower_p6", 3, 13, 256, 256, 1, 8));
+    L.push_back(Layer::conv("head_tower_p7", 3, 7, 256, 256, 1, 8));
+    // Prediction convs: 9 anchors x 80 classes = 720; 9 x 4 = 36.
+    L.push_back(Layer::conv("cls_pred_p3", 3, 100, 256, 720));
+    L.push_back(Layer::conv("cls_pred_p4", 3, 50, 256, 720));
+    L.push_back(Layer::conv("cls_pred_p5", 3, 25, 256, 720));
+    L.push_back(Layer::conv("box_pred_p3", 3, 100, 256, 36));
+    L.push_back(Layer::conv("box_pred_p4", 3, 50, 256, 36));
+    L.push_back(Layer::conv("box_pred_p5", 3, 25, 256, 36));
+    return net;
+}
+
+Network
+alexnet()
+{
+    Network net;
+    net.name = "alexnet";
+    auto &L = net.layers;
+    L.push_back(Layer::conv("conv1", 11, 55, 3, 96, 4));
+    L.push_back(Layer::conv("conv2", 5, 27, 96, 256));
+    L.push_back(Layer::conv("conv3", 3, 13, 256, 384));
+    L.push_back(Layer::conv("conv4", 3, 13, 384, 384));
+    L.push_back(Layer::conv("conv5", 3, 13, 384, 256));
+    L.push_back(Layer::gemm("fc6", 1, 9216, 4096));
+    L.push_back(Layer::gemm("fc7", 1, 4096, 4096));
+    L.push_back(Layer::gemm("fc8", 1, 4096, 1000));
+    return net;
+}
+
+Network
+vgg16()
+{
+    Network net;
+    net.name = "vgg16";
+    auto &L = net.layers;
+    L.push_back(Layer::conv("conv1_1", 3, 224, 3, 64));
+    L.push_back(Layer::conv("conv1_2", 3, 224, 64, 64));
+    L.push_back(Layer::conv("conv2_1", 3, 112, 64, 128));
+    L.push_back(Layer::conv("conv2_2", 3, 112, 128, 128));
+    L.push_back(Layer::conv("conv3_1", 3, 56, 128, 256));
+    L.push_back(Layer::conv("conv3_2", 3, 56, 256, 256, 1, 2));
+    L.push_back(Layer::conv("conv4_1", 3, 28, 256, 512));
+    L.push_back(Layer::conv("conv4_2", 3, 28, 512, 512, 1, 2));
+    L.push_back(Layer::conv("conv5", 3, 14, 512, 512, 1, 3));
+    L.push_back(Layer::gemm("fc6", 1, 25088, 4096));
+    L.push_back(Layer::gemm("fc7", 1, 4096, 4096));
+    L.push_back(Layer::gemm("fc8", 1, 4096, 1000));
+    return net;
+}
+
+Network
+resnext50()
+{
+    // ResNeXt-50-32x4d: the bottleneck 3x3 convs are grouped with 32
+    // groups. A grouped conv is expressed as a batch (N = groups) of
+    // small convs with per-group channel counts, which preserves MACs
+    // and per-group data-movement structure.
+    Network net;
+    net.name = "resnext50";
+    auto &L = net.layers;
+    L.push_back(Layer::conv("conv1", 7, 112, 3, 64, 2));
+    // Stage 1: width 128 (32 groups x 4).
+    L.push_back(Layer::conv("rx2_1x1a", 1, 56, 64, 128));
+    {
+        Layer g = Layer::conv("rx2_g3x3", 3, 56, 4, 4, 1, 3, 32);
+        L.push_back(g);
+    }
+    L.push_back(Layer::conv("rx2_1x1b", 1, 56, 128, 256, 1, 3));
+    L.push_back(Layer::conv("rx2_1x1a_r", 1, 56, 256, 128, 1, 2));
+    // Stage 2: width 256.
+    L.push_back(Layer::conv("rx3_1x1a", 1, 28, 256, 256, 1, 4));
+    L.push_back(Layer::conv("rx3_g3x3", 3, 28, 8, 8, 1, 4, 32));
+    L.push_back(Layer::conv("rx3_1x1b", 1, 28, 256, 512, 1, 4));
+    // Stage 3: width 512.
+    L.push_back(Layer::conv("rx4_1x1a", 1, 14, 512, 512, 1, 6));
+    L.push_back(Layer::conv("rx4_g3x3", 3, 14, 16, 16, 1, 6, 32));
+    L.push_back(Layer::conv("rx4_1x1b", 1, 14, 512, 1024, 1, 6));
+    // Stage 4: width 1024.
+    L.push_back(Layer::conv("rx5_1x1a", 1, 7, 1024, 1024, 1, 3));
+    L.push_back(Layer::conv("rx5_g3x3", 3, 7, 32, 32, 1, 3, 32));
+    L.push_back(Layer::conv("rx5_1x1b", 1, 7, 1024, 2048, 1, 3));
+    L.push_back(Layer::gemm("fc1000", 1, 2048, 1000));
+    return net;
+}
+
+Network
+deepbench()
+{
+    // Representative Baidu DeepBench inference kernels from the OCR and
+    // face-recognition suites (GEMM M/N/K triples and conv shapes).
+    Network net;
+    net.name = "deepbench";
+    auto &L = net.layers;
+    L.push_back(Layer::gemm("ocr_gemm_5124x700x2048", 5124, 2048, 700));
+    L.push_back(Layer::gemm("ocr_gemm_35x700x2048", 35, 2048, 700));
+    L.push_back(Layer::gemm("ocr_gemm_3072x1500x1024", 3072, 1024, 1500));
+    L.push_back(Layer::gemm("ocr_gemm_512x3000x1024", 512, 1024, 3000));
+    L.push_back(Layer::gemm("face_gemm_128x1024x1024", 128, 1024, 1024));
+    L.push_back(Layer::gemm("face_gemm_256x256x512", 256, 512, 256));
+    L.push_back(Layer::conv("ocr_conv_7x7", 7, 54, 3, 64, 2));
+    L.push_back(Layer::conv("ocr_conv_3x3a", 3, 54, 64, 64));
+    L.push_back(Layer::conv("ocr_conv_3x3b", 3, 27, 64, 128));
+    L.push_back(Layer::conv("face_conv_3x3a", 3, 28, 96, 128));
+    L.push_back(Layer::conv("face_conv_3x3b", 3, 14, 128, 256));
+    L.push_back(Layer::conv("face_conv_1x1", 1, 14, 256, 256));
+    // Tiny recurrent / embedding kernels: these exercise the
+    // small-layer regime where block-quantized DRAM accounting
+    // diverges from element counts (the Fig. 4 error tail).
+    L.push_back(Layer::gemm("ocr_rnn_gemm_16x64x32", 16, 64, 32));
+    L.push_back(Layer::gemm("ocr_rnn_gemm_35x128x64", 35, 128, 64));
+    L.push_back(Layer::gemm("face_embed_1x256x64", 1, 256, 64));
+    L.push_back(Layer::conv("ocr_conv_tiny", 3, 7, 8, 16));
+    L.push_back(Layer::conv("face_conv_tiny", 1, 7, 24, 12));
+    return net;
+}
+
+std::vector<Network>
+targetWorkloads()
+{
+    return {unet(), resnet50(), bertBase(), retinanet()};
+}
+
+std::vector<Network>
+trainingWorkloads()
+{
+    return {alexnet(), resnext50(), vgg16(), deepbench()};
+}
+
+Network
+networkByName(const std::string &name)
+{
+    if (name == "resnet50")
+        return resnet50();
+    if (name == "bert")
+        return bertBase();
+    if (name == "unet")
+        return unet();
+    if (name == "retinanet")
+        return retinanet();
+    if (name == "alexnet")
+        return alexnet();
+    if (name == "vgg16")
+        return vgg16();
+    if (name == "resnext50")
+        return resnext50();
+    if (name == "deepbench")
+        return deepbench();
+    fatal("unknown network: " + name);
+}
+
+std::vector<Layer>
+uniqueTrainingLayers()
+{
+    std::vector<Layer> out;
+    for (const Network &net : trainingWorkloads()) {
+        for (const Layer &l : net.layers) {
+            bool dup = false;
+            for (const Layer &have : out) {
+                if (have.sameShape(l)) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup)
+                out.push_back(l);
+        }
+    }
+    return out;
+}
+
+} // namespace dosa

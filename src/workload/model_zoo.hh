@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The DNN workloads of Table 6.
+ *
+ * Target workloads (evaluated in Section 6): BERT, ResNet-50, RetinaNet
+ * (non-backbone layers) and U-Net. Training workloads (for the learned
+ * latency model): AlexNet, ResNeXt-50-32x4d, VGG-16, DeepBench (OCR and
+ * face-recognition kernels).
+ *
+ * Layer lists follow the published network architectures; where a paper
+ * detail is unstated (e.g. BERT sequence length) a standard setting is
+ * used and noted inline.
+ */
+
+#ifndef DOSA_WORKLOAD_MODEL_ZOO_HH
+#define DOSA_WORKLOAD_MODEL_ZOO_HH
+
+#include <vector>
+
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/** ResNet-50 (He et al.): unique conv/fc shapes with repeat counts. */
+Network resnet50();
+
+/** BERT-base encoder GEMMs, sequence length 512, batch 1. */
+Network bertBase();
+
+/** U-Net (Ronneberger et al.) at 256x256 input. */
+Network unet();
+
+/** RetinaNet FPN + heads, excluding the ResNet backbone (Table 6). */
+Network retinanet();
+
+/** AlexNet (training workload). */
+Network alexnet();
+
+/** VGG-16 (training workload). */
+Network vgg16();
+
+/** ResNeXt-50-32x4d; grouped 3x3 convs expressed as batched small convs. */
+Network resnext50();
+
+/** DeepBench OCR + face-recognition GEMM/conv kernels. */
+Network deepbench();
+
+/** The four Section-6 target workloads, in paper order. */
+std::vector<Network> targetWorkloads();
+
+/** The Table-6 training workloads. */
+std::vector<Network> trainingWorkloads();
+
+/** Look a network up by lowercase name ("resnet50", "bert", ...). */
+Network networkByName(const std::string &name);
+
+/** Unique layer shapes pooled over the training workloads (Fig. 4 set). */
+std::vector<Layer> uniqueTrainingLayers();
+
+} // namespace dosa
+
+#endif // DOSA_WORKLOAD_MODEL_ZOO_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the architecture module: Table 2/4 constants,
+ * hardware quantization and the energy/bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/baselines.hh"
+#include "arch/hardware_config.hh"
+
+namespace dosa {
+namespace {
+
+TEST(Hierarchy, Table4TensorPlacement)
+{
+    // Registers: W only.
+    EXPECT_TRUE(levelHoldsTensor(kRegisters, Tensor::Weight));
+    EXPECT_FALSE(levelHoldsTensor(kRegisters, Tensor::Input));
+    EXPECT_FALSE(levelHoldsTensor(kRegisters, Tensor::Output));
+    // Accumulator: O only.
+    EXPECT_FALSE(levelHoldsTensor(kAccumulator, Tensor::Weight));
+    EXPECT_TRUE(levelHoldsTensor(kAccumulator, Tensor::Output));
+    // Scratchpad: W + I.
+    EXPECT_TRUE(levelHoldsTensor(kScratchpad, Tensor::Weight));
+    EXPECT_TRUE(levelHoldsTensor(kScratchpad, Tensor::Input));
+    EXPECT_FALSE(levelHoldsTensor(kScratchpad, Tensor::Output));
+    // DRAM: everything.
+    for (Tensor t : kAllTensors)
+        EXPECT_TRUE(levelHoldsTensor(kDram, t));
+}
+
+TEST(Hierarchy, InnermostLevels)
+{
+    EXPECT_EQ(innermostLevel(Tensor::Weight), kRegisters);
+    EXPECT_EQ(innermostLevel(Tensor::Output), kAccumulator);
+    EXPECT_EQ(innermostLevel(Tensor::Input), kScratchpad);
+}
+
+TEST(Hierarchy, NextInnerLevelChains)
+{
+    EXPECT_EQ(nextInnerLevel(kDram, Tensor::Weight), kScratchpad);
+    EXPECT_EQ(nextInnerLevel(kScratchpad, Tensor::Weight), kRegisters);
+    EXPECT_EQ(nextInnerLevel(kDram, Tensor::Output), kAccumulator);
+    EXPECT_EQ(nextInnerLevel(kDram, Tensor::Input), kScratchpad);
+    EXPECT_EQ(nextInnerLevel(kScratchpad, Tensor::Input), -1);
+    EXPECT_EQ(nextInnerLevel(kRegisters, Tensor::Weight), -1);
+}
+
+TEST(Hierarchy, WordSizes)
+{
+    EXPECT_DOUBLE_EQ(wordBytes(Tensor::Weight), 1.0);
+    EXPECT_DOUBLE_EQ(wordBytes(Tensor::Input), 1.0);
+    EXPECT_DOUBLE_EQ(wordBytes(Tensor::Output), 4.0);
+}
+
+TEST(HardwareConfig, DerivedQuantities)
+{
+    HardwareConfig hw{16, 32, 128};
+    EXPECT_DOUBLE_EQ(hw.cpe(), 256.0);
+    EXPECT_DOUBLE_EQ(hw.accumWords(), 32.0 * 1024 / 4);
+    EXPECT_DOUBLE_EQ(hw.spadWords(), 128.0 * 1024);
+    EXPECT_NE(hw.str().find("16x16"), std::string::npos);
+}
+
+TEST(HardwareConfig, QuantizeRoundsUp)
+{
+    // 5.2 PE side -> 6; 1000 accumulator words = 4000 B -> 4 KB;
+    // 3000 scratchpad words -> 3 KB.
+    HardwareConfig cfg = quantizeConfig(5.2, 1000.0, 3000.0);
+    EXPECT_EQ(cfg.pe_dim, 6);
+    EXPECT_EQ(cfg.accum_kib, 4);
+    EXPECT_EQ(cfg.spad_kib, 3);
+}
+
+TEST(HardwareConfig, QuantizeExactBoundaries)
+{
+    // Exactly 8192 accumulator words = 32 KB, 131072 spad words = 128K.
+    HardwareConfig cfg = quantizeConfig(16.0, 8192.0, 131072.0);
+    EXPECT_EQ(cfg.pe_dim, 16);
+    EXPECT_EQ(cfg.accum_kib, 32);
+    EXPECT_EQ(cfg.spad_kib, 128);
+}
+
+TEST(HardwareConfig, QuantizeClampsPeCap)
+{
+    HardwareConfig cfg = quantizeConfig(500.0, 1.0, 1.0);
+    EXPECT_EQ(cfg.pe_dim, kMaxPeDim);
+    cfg = quantizeConfig(0.3, 1.0, 1.0);
+    EXPECT_EQ(cfg.pe_dim, 1);
+}
+
+TEST(HardwareConfig, ConfigMaxIsParameterWise)
+{
+    HardwareConfig a{8, 64, 32};
+    HardwareConfig b{16, 16, 128};
+    HardwareConfig m = configMax(a, b);
+    EXPECT_EQ(m.pe_dim, 16);
+    EXPECT_EQ(m.accum_kib, 64);
+    EXPECT_EQ(m.spad_kib, 128);
+}
+
+TEST(EnergyModel, Table2Constants)
+{
+    EXPECT_DOUBLE_EQ(EnergyModel::kEpaMac, 0.561);
+    EXPECT_DOUBLE_EQ(EnergyModel::kEpaRegister, 0.487);
+    EXPECT_DOUBLE_EQ(EnergyModel::kEpaDram, 100.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::kDramBandwidth, 8.0);
+}
+
+TEST(EnergyModel, SramEpaScalesWithCapacity)
+{
+    double cpe = 256.0;
+    // 1024 words = 4 KiB accumulator; 8192 words = 32 KiB.
+    double small = EnergyModel::accumEpa(1024.0, cpe);
+    double large = EnergyModel::accumEpa(8192.0, cpe);
+    EXPECT_GT(large, small);
+    EXPECT_NEAR(small, 1.94 + 0.1005 * 4.0 / 16.0, 1e-12);
+    double s_small = EnergyModel::spadEpa(1024.0, cpe);
+    double s_large = EnergyModel::spadEpa(65536.0, cpe);
+    EXPECT_GT(s_large, s_small);
+    EXPECT_NEAR(s_small, 0.49 + 0.025 * 1.0 / 16.0, 1e-12);
+}
+
+TEST(EnergyModel, SramAccessStaysInPlausiblePjRange)
+{
+    // CACTI-40nm scale: on-chip SRAM accesses are a few pJ even for
+    // the largest Table-7 buffers, and always far below DRAM.
+    for (double kib : {8.0, 32.0, 196.0, 512.0}) {
+        double epa = EnergyModel::accumEpa(kib * 1024.0 / 4.0, 256.0);
+        EXPECT_GT(epa, 1.0);
+        EXPECT_LT(epa, 10.0);
+        EXPECT_LT(epa, EnergyModel::kEpaDram / 5.0);
+    }
+}
+
+TEST(EnergyModel, SramEpaShrinksWithWiderArrays)
+{
+    // More PE columns = wider SRAM port = fewer rows = cheaper access.
+    double e16 = EnergyModel::accumEpa(8192.0, 256.0);
+    double e32 = EnergyModel::accumEpa(8192.0, 1024.0);
+    EXPECT_GT(e16, e32);
+}
+
+TEST(EnergyModel, BandwidthsMatchTable2)
+{
+    double cpe = 256.0;
+    EXPECT_DOUBLE_EQ(EnergyModel::bandwidth(kRegisters, cpe), 512.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::bandwidth(kAccumulator, cpe), 32.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::bandwidth(kScratchpad, cpe), 32.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::bandwidth(kDram, cpe), 8.0);
+}
+
+TEST(Baselines, AllPresentWithPublishedSizes)
+{
+    auto all = allBaselines();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].name, "Eyeriss");
+    EXPECT_EQ(all[1].name, "NVDLA Small");
+    EXPECT_EQ(all[2].name, "NVDLA Large");
+    EXPECT_EQ(all[3].name, "Gemmini Default");
+
+    // Gemmini default: 16x16, 32 KB accumulator, 128 KB scratchpad.
+    EXPECT_EQ(gemminiDefault().config.pe_dim, 16);
+    EXPECT_EQ(gemminiDefault().config.accum_kib, 32);
+    EXPECT_EQ(gemminiDefault().config.spad_kib, 128);
+    // NVDLA large has the biggest array.
+    EXPECT_EQ(nvdlaLarge().config.pe_dim, 32);
+    // NVDLA small is the most constrained.
+    EXPECT_LT(nvdlaSmall().config.spad_kib,
+              gemminiDefault().config.spad_kib);
+}
+
+TEST(Levels, Names)
+{
+    EXPECT_STREQ(levelName(kRegisters), "Registers");
+    EXPECT_STREQ(levelName(kAccumulator), "Accumulator");
+    EXPECT_STREQ(levelName(kScratchpad), "Scratchpad");
+    EXPECT_STREQ(levelName(kDram), "DRAM");
+}
+
+} // namespace
+} // namespace dosa

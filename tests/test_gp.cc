@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for Gaussian-process regression: interpolation,
+ * uncertainty behaviour and LCB ranking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gp/gaussian_process.hh"
+#include "util/rng.hh"
+
+namespace dosa {
+namespace {
+
+TEST(Gp, InterpolatesTrainingPointsWithLowNoise)
+{
+    GpParams p;
+    p.noise_var = 1e-8;
+    GaussianProcess gp(p);
+    std::vector<std::vector<double>> x = {{0.0}, {1.0}, {2.0}, {3.0}};
+    std::vector<double> y = {1.0, 2.0, 0.5, -1.0};
+    gp.fit(x, y);
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(gp.predictMean(x[i]), y[i], 1e-4);
+}
+
+TEST(Gp, RevertsToMeanFarFromData)
+{
+    GaussianProcess gp({1.0, 1.0, 1e-6});
+    std::vector<std::vector<double>> x = {{0.0}, {1.0}};
+    std::vector<double> y = {5.0, 7.0};
+    gp.fit(x, y);
+    EXPECT_NEAR(gp.predictMean({100.0}), 6.0, 1e-6); // prior = mean(y)
+}
+
+TEST(Gp, VarianceSmallAtDataLargeFar)
+{
+    GaussianProcess gp({1.0, 1.0, 1e-8});
+    std::vector<std::vector<double>> x = {{0.0}, {1.0}};
+    std::vector<double> y = {0.0, 1.0};
+    gp.fit(x, y);
+    EXPECT_LT(gp.predictVar({0.0}), 1e-4);
+    EXPECT_GT(gp.predictVar({50.0}), 0.9); // ~prior variance
+}
+
+TEST(Gp, SmoothFunctionRecovery)
+{
+    GpParams p;
+    p.length_scale = 1.0;
+    p.noise_var = 1e-6;
+    GaussianProcess gp(p);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i <= 20; ++i) {
+        double t = i * 0.25;
+        x.push_back({t});
+        y.push_back(std::sin(t));
+    }
+    gp.fit(x, y);
+    for (double t : {0.37, 1.9, 3.33, 4.8})
+        EXPECT_NEAR(gp.predictMean({t}), std::sin(t), 0.02);
+}
+
+TEST(Gp, LcbBelowMean)
+{
+    GaussianProcess gp({1.0, 1.0, 1e-4});
+    std::vector<std::vector<double>> x = {{0.0}, {2.0}};
+    std::vector<double> y = {1.0, 3.0};
+    gp.fit(x, y);
+    std::vector<double> q = {4.0};
+    EXPECT_LE(gp.lcb(q, 1.0), gp.predictMean(q));
+    EXPECT_DOUBLE_EQ(gp.lcb(q, 0.0), gp.predictMean(q));
+}
+
+TEST(Gp, MultiDimensionalFeatures)
+{
+    GaussianProcess gp({2.0, 1.0, 1e-6});
+    Rng rng(4);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 40; ++i) {
+        double a = rng.uniformReal(-2.0, 2.0);
+        double b = rng.uniformReal(-2.0, 2.0);
+        x.push_back({a, b});
+        y.push_back(a * a + b);
+    }
+    gp.fit(x, y);
+    // In-distribution prediction should beat the constant-mean model.
+    double mean_y = 0.0;
+    for (double v : y)
+        mean_y += v;
+    mean_y /= static_cast<double>(y.size());
+    double gp_err = 0.0, const_err = 0.0;
+    Rng rng2(5);
+    for (int i = 0; i < 30; ++i) {
+        double a = rng2.uniformReal(-1.5, 1.5);
+        double b = rng2.uniformReal(-1.5, 1.5);
+        double truth = a * a + b;
+        gp_err += std::abs(gp.predictMean({a, b}) - truth);
+        const_err += std::abs(mean_y - truth);
+    }
+    EXPECT_LT(gp_err, 0.5 * const_err);
+}
+
+TEST(Gp, TrainSizeReported)
+{
+    GaussianProcess gp;
+    EXPECT_EQ(gp.trainSize(), 0u);
+    gp.fit({{0.0}, {1.0}, {2.0}}, {1.0, 2.0, 3.0});
+    EXPECT_EQ(gp.trainSize(), 3u);
+}
+
+} // namespace
+} // namespace dosa

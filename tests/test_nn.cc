@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the MLP: shape/parameter accounting, training convergence
+ * on known functions, determinism, and the templated forward pass
+ * (including autodiff gradients through the trained network).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.hh"
+#include "autodiff/var.hh"
+#include "nn/mlp.hh"
+#include "util/rng.hh"
+
+namespace dosa {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+
+TEST(Mlp, ParamCountMatchesArchitecture)
+{
+    Mlp net({4, 8, 8, 1}, 1);
+    // 4*8+8 + 8*8+8 + 8*1+1 = 40 + 72 + 9 = 121.
+    EXPECT_EQ(net.paramCount(), 121u);
+}
+
+TEST(Mlp, PaperScaleNetworkHasAbout5_7kParams)
+{
+    // The surrogate architecture: 7 hidden layers, ~5.7k params.
+    Mlp net({43, 27, 27, 27, 27, 27, 27, 27, 1}, 1);
+    EXPECT_EQ(net.paramCount(),
+            size_t(43 * 27 + 27 + 6 * (27 * 27 + 27) + 27 + 1));
+    EXPECT_NEAR(static_cast<double>(net.paramCount()), 5737.0, 100.0);
+}
+
+TEST(Mlp, DeterministicInitialization)
+{
+    Mlp a({3, 8, 1}, 42), b({3, 8, 1}, 42);
+    std::vector<double> x = {0.1, -0.2, 0.7};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+    Mlp c({3, 8, 1}, 43);
+    EXPECT_NE(a.predict(x), c.predict(x));
+}
+
+TEST(Mlp, LearnsLinearFunction)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 256; ++i) {
+        double a = rng.uniformReal(-1, 1), b = rng.uniformReal(-1, 1);
+        x.push_back({a, b});
+        y.push_back(2.0 * a - 3.0 * b + 0.5);
+    }
+    Mlp net({2, 16, 16, 1}, 3);
+    double loss = 1e9;
+    for (int e = 0; e < 200; ++e)
+        loss = net.trainEpoch(x, y, 1e-2, 100 + e);
+    EXPECT_LT(loss, 1e-3);
+    EXPECT_NEAR(net.predict({0.3, -0.4}), 2.0 * 0.3 + 1.2 + 0.5, 0.1);
+}
+
+TEST(Mlp, LearnsNonlinearFunction)
+{
+    Rng rng(11);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 512; ++i) {
+        double a = rng.uniformReal(-2, 2), b = rng.uniformReal(-2, 2);
+        x.push_back({a, b});
+        y.push_back(a * a + std::abs(b));
+    }
+    Mlp net({2, 24, 24, 24, 1}, 5);
+    double loss = 1e9;
+    for (int e = 0; e < 300; ++e)
+        loss = net.trainEpoch(x, y, 3e-3, 200 + e);
+    EXPECT_LT(loss, 0.05);
+}
+
+TEST(Mlp, TrainingLossDecreases)
+{
+    Rng rng(13);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 128; ++i) {
+        double a = rng.uniformReal(-1, 1);
+        x.push_back({a});
+        y.push_back(std::sin(3.0 * a));
+    }
+    Mlp net({1, 16, 16, 1}, 9);
+    double first = net.trainEpoch(x, y, 1e-2, 1);
+    double last = first;
+    for (int e = 1; e < 100; ++e)
+        last = net.trainEpoch(x, y, 1e-2, 1 + e);
+    EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(Mlp, ForwardTMatchesPredict)
+{
+    Mlp net({3, 8, 8, 1}, 21);
+    std::vector<double> x = {0.5, -1.0, 0.25};
+    double via_predict = net.predict(x);
+    double via_template = net.forwardT<double>(x);
+    EXPECT_DOUBLE_EQ(via_predict, via_template);
+}
+
+TEST(Mlp, ForwardTOnVarsGradChecks)
+{
+    Mlp net({2, 10, 10, 1}, 33);
+    double a0 = 0.4, b0 = -0.7;
+    Tape tape;
+    Var a(tape, a0), b(tape, b0);
+    Var out = net.forwardT<Var>({a, b});
+    EXPECT_DOUBLE_EQ(out.value(), net.predict({a0, b0}));
+    auto adj = tape.gradient(out.id());
+    double h = 1e-6;
+    double fd_a = (net.predict({a0 + h, b0}) -
+                   net.predict({a0 - h, b0})) / (2 * h);
+    double fd_b = (net.predict({a0, b0 + h}) -
+                   net.predict({a0, b0 - h})) / (2 * h);
+    EXPECT_NEAR(adj[size_t(a.id())], fd_a, 1e-5 + 1e-4 * std::abs(fd_a));
+    EXPECT_NEAR(adj[size_t(b.id())], fd_b, 1e-5 + 1e-4 * std::abs(fd_b));
+}
+
+TEST(Mlp, EpochShuffleSeedChangesOrderNotResult)
+{
+    // Different shuffle seeds must still converge to similar loss.
+    Rng rng(17);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 128; ++i) {
+        double a = rng.uniformReal(-1, 1);
+        x.push_back({a});
+        y.push_back(2.0 * a);
+    }
+    Mlp n1({1, 8, 1}, 2), n2({1, 8, 1}, 2);
+    double l1 = 0, l2 = 0;
+    for (int e = 0; e < 150; ++e) {
+        l1 = n1.trainEpoch(x, y, 1e-2, 1000 + e);
+        l2 = n2.trainEpoch(x, y, 1e-2, 9000 + e);
+    }
+    EXPECT_LT(l1, 0.01);
+    EXPECT_LT(l2, 0.01);
+}
+
+} // namespace
+} // namespace dosa

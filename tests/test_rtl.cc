@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the Gemmini-RTL substitute: determinism, physical
+ * plausibility (RTL >= idealized analytical latency), sensitivity to
+ * the modelled implementation effects, and the correlation structure
+ * the Section-6.5 experiments rely on (good mappings predicted well,
+ * random mappings diverging).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/baselines.hh"
+#include "mapping/rounding.hh"
+#include "model/reference.hh"
+#include "rtl/gemmini_rtl.hh"
+#include "search/cosa_mapper.hh"
+#include "search/search_common.hh"
+#include "stats/stats.hh"
+#include "util/rng.hh"
+#include "workload/model_zoo.hh"
+
+namespace dosa {
+namespace {
+
+TEST(Rtl, Deterministic)
+{
+    HardwareConfig hw = gemminiDefault().config;
+    Layer l = Layer::conv("d", 3, 14, 64, 64);
+    Mapping m = cosaMap(l, hw);
+    EXPECT_DOUBLE_EQ(rtlLatency(l, m, hw), rtlLatency(l, m, hw));
+}
+
+TEST(Rtl, NeverFasterThanAnalytical)
+{
+    // All modelled effects add latency on top of the idealized
+    // roofline; RTL latency must dominate it.
+    HardwareConfig hw = gemminiDefault().config;
+    Rng rng(5);
+    for (const Layer &l : resnet50().layers) {
+        Mapping m = randomValidMapping(l, hw, rng);
+        double analytical = referenceEval(l, m, hw).latency;
+        double rtl = rtlLatency(l, m, hw);
+        EXPECT_GE(rtl, analytical * 0.999) << l.str();
+    }
+}
+
+TEST(Rtl, FinerTilingPaysMoreDmaOverhead)
+{
+    HardwareConfig hw = gemminiDefault().config;
+    Layer l = Layer::conv("t", 1, 16, 64, 64);
+    // Coarse mapping: big on-chip tiles.
+    Mapping coarse = cosaMap(l, hw);
+    // Fine mapping: everything iterates at DRAM, unit tiles.
+    Mapping fine = minimalMapping(l);
+    double coarse_gap = rtlLatency(l, coarse, hw) /
+            referenceEval(l, coarse, hw).latency;
+    double fine_gap = rtlLatency(l, fine, hw) /
+            referenceEval(l, fine, hw).latency;
+    EXPECT_GT(fine_gap, coarse_gap);
+}
+
+TEST(Rtl, UnfitMappingsPenalized)
+{
+    HardwareConfig tiny{4, 1, 2};
+    HardwareConfig big{64, 512, 1024};
+    Layer l = Layer::conv("uf", 3, 28, 64, 64);
+    Mapping m = cosaMap(l, big); // big tiles: cannot fit `tiny`
+    RefEval ev = referenceEval(l, m, tiny);
+    ASSERT_FALSE(ev.fits);
+    EXPECT_GT(rtlLatency(l, m, tiny), 5.0 * ev.latency);
+}
+
+TEST(Rtl, BankConflictSensitivity)
+{
+    // Identical mappings except for the spatial C fanout parity.
+    HardwareConfig hw{16, 64, 256};
+    Layer l = Layer::conv("bk", 1, 16, 60, 64);
+    Factors<double> f;
+    f.spatial_c = 15.0; // 15 % 4 != 0 -> conflict-prone
+    Mapping odd = roundToValid(f, l, uniformOrder(LoopOrder::WS),
+            hw.pe_dim);
+    Factors<double> g;
+    g.spatial_c = 12.0; // multiple of 4 banks
+    Mapping even = roundToValid(g, l, uniformOrder(LoopOrder::WS),
+            hw.pe_dim);
+    ASSERT_EQ(odd.factors.spatial_c % 4, 3);
+    ASSERT_EQ(even.factors.spatial_c % 4, 0);
+    // The effect only shows when the scratchpad is the bottleneck; at
+    // minimum the simulator must not crash and must stay ordered
+    // sensibly relative to analytical.
+    EXPECT_GT(rtlLatency(l, odd, hw), 0.0);
+    EXPECT_GT(rtlLatency(l, even, hw), 0.0);
+}
+
+TEST(Rtl, AnalyticalCorrelatesBetterOnGoodMappingsThanRandom)
+{
+    // The premise of Figs. 10-11: analytical predictions track RTL
+    // well on performant (CoSA/DOSA-like) mappings and worse on
+    // random mappings.
+    HardwareConfig hw = gemminiDefault().config;
+    Rng rng(9);
+    std::vector<double> rtl_good, ana_good, rtl_rand, ana_rand;
+    for (const Layer &l : resnet50().layers) {
+        Mapping good = cosaMap(l, hw);
+        rtl_good.push_back(std::log(rtlLatency(l, good, hw)));
+        ana_good.push_back(
+                std::log(referenceEval(l, good, hw).latency));
+        Mapping rnd = randomValidMapping(l, hw, rng);
+        rtl_rand.push_back(std::log(rtlLatency(l, rnd, hw)));
+        ana_rand.push_back(
+                std::log(referenceEval(l, rnd, hw).latency));
+    }
+    double rho_good = spearman(ana_good, rtl_good);
+    double rho_rand = spearman(ana_rand, rtl_rand);
+    EXPECT_GT(rho_good, 0.9);
+    EXPECT_GT(rho_rand, 0.3); // still correlated, but weaker
+    EXPECT_GE(rho_good, rho_rand - 0.05);
+}
+
+TEST(Rtl, ScalesWithWorkloadSize)
+{
+    HardwareConfig hw = gemminiDefault().config;
+    Layer small = Layer::conv("s", 1, 8, 16, 16);
+    Layer large = Layer::conv("l", 3, 56, 128, 128);
+    double lat_small = rtlLatency(small, cosaMap(small, hw), hw);
+    double lat_large = rtlLatency(large, cosaMap(large, hw), hw);
+    EXPECT_GT(lat_large, 50.0 * lat_small);
+}
+
+} // namespace
+} // namespace dosa

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the statistics module: correlations, error metrics
+ * and summary helpers, including known-value and property checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/stats.hh"
+#include "util/rng.hh"
+
+namespace dosa {
+namespace {
+
+TEST(Mean, BasicAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stddev, KnownValue)
+{
+    // Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138 (n-1 denominator).
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.13809, 1e-4);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+}
+
+TEST(Median, OddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {10, 20, 30, 40};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> z = {40, 30, 20, 10};
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputGivesZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Ranks, AverageTies)
+{
+    auto r = ranks({10.0, 20.0, 20.0, 30.0});
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y;
+    for (double v : x)
+        y.push_back(std::exp(v)); // monotone but nonlinear
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, KnownPartialValue)
+{
+    // Classic example: one swapped pair out of five.
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {1, 2, 3, 5, 4};
+    // rho = 1 - 6*sum(d^2)/(n(n^2-1)) = 1 - 6*2/120 = 0.9
+    EXPECT_NEAR(spearman(x, y), 0.9, 1e-12);
+}
+
+TEST(Spearman, InvariantToMonotoneTransform)
+{
+    Rng rng(5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(rng.uniformReal(0.0, 10.0));
+        y.push_back(x.back() + rng.gaussian(0.0, 2.0));
+    }
+    double base = spearman(x, y);
+    std::vector<double> x_log;
+    for (double v : x)
+        x_log.push_back(std::log(v + 1.0));
+    EXPECT_NEAR(spearman(x_log, y), base, 1e-12);
+}
+
+TEST(ErrorMetrics, MeanAndMax)
+{
+    std::vector<double> ref = {100.0, 200.0};
+    std::vector<double> pred = {101.0, 190.0}; // 1% and 5%
+    EXPECT_NEAR(meanAbsPercentError(pred, ref), 3.0, 1e-9);
+    EXPECT_NEAR(maxAbsPercentError(pred, ref), 5.0, 1e-9);
+}
+
+TEST(ErrorMetrics, SkipsZeroReference)
+{
+    std::vector<double> ref = {0.0, 100.0};
+    std::vector<double> pred = {5.0, 110.0};
+    EXPECT_NEAR(meanAbsPercentError(pred, ref), 10.0, 1e-9);
+}
+
+TEST(ErrorMetrics, FractionWithinPercent)
+{
+    std::vector<double> ref = {100, 100, 100, 100};
+    std::vector<double> pred = {100.5, 101.5, 99.8, 90.0};
+    EXPECT_NEAR(fractionWithinPercent(pred, ref, 1.0), 0.5, 1e-12);
+    EXPECT_NEAR(fractionWithinPercent(pred, ref, 2.0), 0.75, 1e-12);
+    EXPECT_NEAR(fractionWithinPercent(pred, ref, 20.0), 1.0, 1e-12);
+}
+
+TEST(ErrorMetrics, ExactPredictionsAreZeroError)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(meanAbsPercentError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(maxAbsPercentError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(fractionWithinPercent(v, v, 0.0), 1.0);
+}
+
+class SpearmanNoise
+    : public ::testing::TestWithParam<double> // noise level
+{
+};
+
+TEST_P(SpearmanNoise, DegradesWithNoise)
+{
+    double noise = GetParam();
+    Rng rng(99);
+    std::vector<double> x, y;
+    for (int i = 0; i < 400; ++i) {
+        x.push_back(rng.uniformReal(0.0, 1.0));
+        y.push_back(x.back() + rng.gaussian(0.0, noise));
+    }
+    double rho = spearman(x, y);
+    if (noise < 0.01)
+        EXPECT_GT(rho, 0.99);
+    else if (noise < 0.5)
+        EXPECT_GT(rho, 0.5);
+    else
+        EXPECT_LT(rho, 0.9);
+    EXPECT_GT(rho, 0.0); // always positively related
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, SpearmanNoise,
+        ::testing::Values(0.0, 0.1, 0.3, 1.0));
+
+} // namespace
+} // namespace dosa

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the surrogate stack: dataset generation, standardization,
+ * the three latency predictors (training improves accuracy; combined
+ * model constrained by the analytical prediction) and the
+ * differentiable prediction path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.hh"
+#include "autodiff/var.hh"
+#include "model/analytical.hh"
+#include "stats/stats.hh"
+#include "surrogate/dataset.hh"
+#include "surrogate/latency_predictor.hh"
+
+namespace dosa {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+
+/** Shared dataset (600 samples: enough for the residual MLP to
+ * generalize across the tiny-layer regime, still fast to train). */
+const SurrogateDataset &
+sharedData()
+{
+    static SurrogateDataset ds = generateSurrogateDataset(600, 42);
+    return ds;
+}
+
+TEST(Dataset, DeterministicAndWellFormed)
+{
+    SurrogateDataset a = generateSurrogateDataset(50, 7);
+    SurrogateDataset b = generateSurrogateDataset(50, 7);
+    ASSERT_EQ(a.size(), 50u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.rtl[i], b.rtl[i]);
+        EXPECT_DOUBLE_EQ(a.analytical[i], b.analytical[i]);
+        EXPECT_GT(a.rtl[i], 0.0);
+        EXPECT_GT(a.analytical[i], 0.0);
+        EXPECT_EQ(a.hws[i].pe_dim, 16);
+        EXPECT_EQ(static_cast<int>(a.features[i].size()),
+                kFeatureSize);
+        EXPECT_TRUE(a.mappings[i].complete(a.layers[i]));
+    }
+}
+
+TEST(Dataset, SplitPartitions)
+{
+    const SurrogateDataset &all = sharedData();
+    SurrogateDataset train, test;
+    splitDataset(all, 0.8, 3, train, test);
+    EXPECT_EQ(train.size() + test.size(), all.size());
+    EXPECT_NEAR(static_cast<double>(train.size()),
+            0.8 * static_cast<double>(all.size()), 1.0);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance)
+{
+    Standardizer s;
+    std::vector<std::vector<double>> rows = {
+        {1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+    s.fit(rows);
+    EXPECT_NEAR(s.mean[0], 2.0, 1e-12);
+    EXPECT_NEAR(s.mean[1], 20.0, 1e-12);
+    std::vector<double> z = s.apply(std::vector<double>{2.0, 20.0});
+    EXPECT_NEAR(z[0], 0.0, 1e-12);
+    EXPECT_NEAR(z[1], 0.0, 1e-12);
+}
+
+TEST(Standardizer, ConstantFeaturePassesThrough)
+{
+    Standardizer s;
+    s.fit({{5.0}, {5.0}, {5.0}});
+    EXPECT_DOUBLE_EQ(s.stdev[0], 1.0);
+    auto z = s.apply(std::vector<double>{5.0});
+    EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(Predictor, AnalyticalIsIdentity)
+{
+    const SurrogateDataset &ds = sharedData();
+    LatencyPredictor p = LatencyPredictor::analytical();
+    EXPECT_EQ(p.kind(), LatencyModelKind::Analytical);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(
+                p.predict(ds.layers[i], ds.mappings[i], ds.hws[i]),
+                ds.analytical[i]);
+}
+
+TEST(Predictor, TrainedModelsBeatUntrainedOnHoldout)
+{
+    SurrogateDataset train, test;
+    splitDataset(sharedData(), 0.8, 5, train, test);
+
+    LatencyPredictor analytical = LatencyPredictor::analytical();
+    LatencyPredictor combined =
+            LatencyPredictor::trainCombined(train, 400, 11);
+    std::vector<double> log_rtl;
+    for (double v : test.rtl)
+        log_rtl.push_back(std::log(v));
+
+    auto log_err = [&](const LatencyPredictor &p) {
+        std::vector<double> pred = p.predictAll(test);
+        double acc = 0.0;
+        for (size_t i = 0; i < pred.size(); ++i)
+            acc += std::abs(std::log(pred[i]) - log_rtl[i]);
+        return acc / static_cast<double>(pred.size());
+    };
+    // The learned residual must reduce log-error vs pure analytical.
+    EXPECT_LT(log_err(combined), log_err(analytical));
+}
+
+TEST(Predictor, CombinedImprovesSpearmanOverAnalytical)
+{
+    SurrogateDataset train, test;
+    splitDataset(sharedData(), 0.8, 5, train, test);
+    LatencyPredictor analytical = LatencyPredictor::analytical();
+    LatencyPredictor combined =
+            LatencyPredictor::trainCombined(train, 400, 11);
+    double rho_a = spearman(analytical.predictAll(test), test.rtl);
+    double rho_c = spearman(combined.predictAll(test), test.rtl);
+    EXPECT_GT(rho_a, 0.5);
+    EXPECT_GE(rho_c, rho_a - 0.02);
+    EXPECT_GT(rho_c, 0.75);
+}
+
+TEST(Predictor, DnnOnlyTrainsToPositiveCorrelation)
+{
+    SurrogateDataset train, test;
+    splitDataset(sharedData(), 0.8, 5, train, test);
+    LatencyPredictor dnn = LatencyPredictor::trainDnnOnly(train, 200,
+            13);
+    EXPECT_EQ(dnn.kind(), LatencyModelKind::DnnOnly);
+    double rho = spearman(dnn.predictAll(test), test.rtl);
+    EXPECT_GT(rho, 0.5);
+}
+
+TEST(Predictor, ScorerClosureMatchesPredict)
+{
+    const SurrogateDataset &ds = sharedData();
+    SurrogateDataset train, test;
+    splitDataset(ds, 0.8, 5, train, test);
+    LatencyPredictor combined =
+            LatencyPredictor::trainCombined(train, 30, 17);
+    auto scorer = combined.scorer();
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(
+                scorer(ds.layers[i], ds.mappings[i], ds.hws[i]),
+                combined.predict(ds.layers[i], ds.mappings[i],
+                        ds.hws[i]));
+}
+
+TEST(Predictor, DifferentiablePathMatchesConcretePath)
+{
+    SurrogateDataset train, test;
+    splitDataset(sharedData(), 0.8, 5, train, test);
+    LatencyPredictor combined =
+            LatencyPredictor::trainCombined(train, 50, 19);
+
+    const Layer &l = test.layers[0];
+    const Mapping &m = test.mappings[0];
+    const HardwareConfig &hw = test.hws[0];
+    double concrete = combined.predict(l, m, hw);
+
+    // Rebuild the same point on a tape.
+    Tape tape;
+    Factors<Var> fv;
+    for (int lvl = 0; lvl < kNumLevels; ++lvl)
+        for (Dim d : kAllDims)
+            fv.t(lvl, d) = Var(tape,
+                    static_cast<double>(m.factors.t(lvl, d)));
+    fv.spatial_c = Var(tape,
+            static_cast<double>(m.factors.spatial_c));
+    fv.spatial_k = Var(tape,
+            static_cast<double>(m.factors.spatial_k));
+    HwScalars<Var> hwv = hwScalars<Var>(hw);
+    double analytical_lat =
+            LatencyPredictor::analytical().predict(l, m, hw);
+    // The concrete path uses block-quantized DRAM traffic inside the
+    // reference model; feed the identical analytical value so only
+    // the MLP path is under test.
+    Var out = combined.latencyVar(l, fv, m.order,
+            Var(analytical_lat), hwv);
+    EXPECT_NEAR(out.value(), concrete, 1e-9 * concrete);
+
+    // Gradients flow to the mapping factors.
+    auto adj = tape.gradient(out.id());
+    double grad_norm = 0.0;
+    for (int lvl = 0; lvl < kDram; ++lvl)
+        for (Dim d : kAllDims)
+            grad_norm += std::abs(
+                    adj[size_t(fv.t(lvl, d).id())]);
+    EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(Predictor, SurrogateDiffModelAdapts)
+{
+    SurrogateDataset train, test;
+    splitDataset(sharedData(), 0.8, 5, train, test);
+    LatencyPredictor combined =
+            LatencyPredictor::trainCombined(train, 30, 23);
+    SurrogateDiffModel diff(combined);
+
+    const Layer &l = test.layers[1];
+    const Mapping &m = test.mappings[1];
+    Tape tape;
+    Factors<Var> fv;
+    for (int lvl = 0; lvl < kNumLevels; ++lvl)
+        for (Dim d : kAllDims)
+            fv.t(lvl, d) = Var(tape,
+                    static_cast<double>(m.factors.t(lvl, d)));
+    fv.spatial_c = Var(tape,
+            static_cast<double>(m.factors.spatial_c));
+    fv.spatial_k = Var(tape,
+            static_cast<double>(m.factors.spatial_k));
+    HwScalars<Var> hwv = hwScalars<Var>(test.hws[1]);
+    Var a = diff.latency(l, fv, m.order, Var(1000.0), hwv);
+    Var b = combined.latencyVar(l, fv, m.order, Var(1000.0), hwv);
+    EXPECT_DOUBLE_EQ(a.value(), b.value());
+}
+
+TEST(Predictor, MlpSizesMatchPaperScale)
+{
+    auto sizes = surrogateMlpSizes();
+    ASSERT_EQ(sizes.size(), 9u); // in + 7 hidden + out
+    EXPECT_EQ(sizes.front(), kFeatureSize);
+    EXPECT_EQ(sizes.back(), 1);
+}
+
+} // namespace
+} // namespace dosa

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for util: RNG determinism and ranges, divisor arithmetic,
+ * table/CSV rendering and CLI parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/cli.hh"
+#include "util/divisors.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace dosa {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.uniformInt(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformReal(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, LogUniformRangeAndSpread)
+{
+    Rng rng(11);
+    int low_decade = 0;
+    for (int i = 0; i < 2000; ++i) {
+        double v = rng.logUniform(1.0, 1000.0);
+        ASSERT_GE(v, 1.0);
+        ASSERT_LE(v, 1000.0);
+        if (v < 10.0)
+            ++low_decade;
+    }
+    // Log-uniform: each decade gets ~1/3 of the mass.
+    EXPECT_GT(low_decade, 450);
+    EXPECT_LT(low_decade, 900);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian(1.0, 2.0);
+        sum += v;
+        sum2 += v * v;
+    }
+    double mean = sum / n;
+    double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.uniformInt(0, 1 << 30) ==
+            child.uniformInt(0, 1 << 30))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(3);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Divisors, KnownLists)
+{
+    EXPECT_EQ(divisorsOf(1), (std::vector<int64_t>{1}));
+    EXPECT_EQ(divisorsOf(12), (std::vector<int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisorsOf(56),
+              (std::vector<int64_t>{1, 2, 4, 7, 8, 14, 28, 56}));
+    EXPECT_EQ(divisorsOf(97), (std::vector<int64_t>{1, 97}));
+}
+
+class DivisorProperty : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(DivisorProperty, AllDivideAndSorted)
+{
+    int64_t n = GetParam();
+    const auto &divs = divisorsOf(n);
+    ASSERT_FALSE(divs.empty());
+    EXPECT_EQ(divs.front(), 1);
+    EXPECT_EQ(divs.back(), n);
+    for (size_t i = 0; i < divs.size(); ++i) {
+        EXPECT_EQ(n % divs[i], 0);
+        if (i > 0) {
+            EXPECT_LT(divs[i - 1], divs[i]);
+        }
+    }
+}
+
+TEST_P(DivisorProperty, NearestDivisorIsOptimal)
+{
+    int64_t n = GetParam();
+    for (double target : {0.3, 1.0, 2.5, 7.0, 33.3,
+                          static_cast<double>(n)}) {
+        int64_t best = nearestDivisor(n, target);
+        EXPECT_EQ(n % best, 0);
+        for (int64_t d : divisorsOf(n))
+            EXPECT_LE(std::abs(target - double(best)),
+                      std::abs(target - double(d)) + 1e-12);
+    }
+}
+
+TEST_P(DivisorProperty, NearestAtMostRespectsCap)
+{
+    int64_t n = GetParam();
+    for (int64_t cap : {int64_t(1), int64_t(4), int64_t(10), n}) {
+        int64_t d = nearestDivisorAtMost(n, 1e9, cap);
+        EXPECT_LE(d, cap);
+        EXPECT_EQ(n % d, 0);
+        EXPECT_EQ(d, largestDivisorAtMost(n, cap));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DivisorProperty,
+        ::testing::Values(1, 2, 3, 7, 12, 56, 64, 96, 100, 112, 224,
+                          1000, 1024, 3072, 5124));
+
+TEST(Divisors, RandomFactorSplitMultipliesBack)
+{
+    Rng rng(17);
+    for (int64_t n : {1, 6, 56, 64, 720, 1024}) {
+        for (int parts : {1, 2, 3, 4, 6}) {
+            auto split = randomFactorSplit(n, parts, rng);
+            ASSERT_EQ(static_cast<int>(split.size()), parts);
+            int64_t prod = 1;
+            for (int64_t f : split) {
+                EXPECT_GE(f, 1);
+                prod *= f;
+            }
+            EXPECT_EQ(prod, n);
+        }
+    }
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TablePrinter tp({"name", "value"});
+    tp.addRow({"alpha", "1"});
+    tp.addRow({"b", "22222"});
+    std::string out = tp.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    // Header separator line exists.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    TablePrinter tp({"a", "b"});
+    tp.addRow({"1", "2"});
+    tp.addRow({"3", "4"});
+    std::string path = "/tmp/dosa_test_table.csv";
+    ASSERT_TRUE(tp.writeCsv(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::remove(path.c_str());
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmtSci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Cli, ParsesFlagsAndPositional)
+{
+    const char *argv[] = {"prog", "--full", "--seed", "7",
+                          "--workload=bert", "resnet50"};
+    Cli cli(6, argv);
+    EXPECT_TRUE(cli.has("full"));
+    EXPECT_FALSE(cli.has("quick"));
+    EXPECT_EQ(cli.getInt("seed", 0), 7);
+    EXPECT_EQ(cli.get("workload"), "bert");
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "resnet50");
+}
+
+TEST(Cli, Defaults)
+{
+    const char *argv[] = {"prog"};
+    Cli cli(1, argv);
+    EXPECT_EQ(cli.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("missing", 1.5), 1.5);
+    EXPECT_EQ(cli.get("missing", "x"), "x");
+}
+
+TEST(Cli, BooleanFlagBeforeFlag)
+{
+    const char *argv[] = {"prog", "--quick", "--seed", "3"};
+    Cli cli(4, argv);
+    EXPECT_TRUE(cli.has("quick"));
+    EXPECT_EQ(cli.getInt("seed", 0), 3);
+}
+
+} // namespace
+} // namespace dosa

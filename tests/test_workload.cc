@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the workload module: layer math, GEMM/conv factories,
+ * relevance sets and model-zoo sanity (shapes, MAC totals, counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/layer.hh"
+#include "workload/model_zoo.hh"
+
+namespace dosa {
+namespace {
+
+TEST(Layer, DimAccessorsAndMacs)
+{
+    Layer l = Layer::conv("x", 3, 56, 64, 128, 1);
+    EXPECT_EQ(l.size(Dim::R), 3);
+    EXPECT_EQ(l.size(Dim::S), 3);
+    EXPECT_EQ(l.size(Dim::P), 56);
+    EXPECT_EQ(l.size(Dim::Q), 56);
+    EXPECT_EQ(l.size(Dim::C), 64);
+    EXPECT_EQ(l.size(Dim::K), 128);
+    EXPECT_EQ(l.size(Dim::N), 1);
+    EXPECT_DOUBLE_EQ(l.macs(), 3.0 * 3 * 56 * 56 * 64 * 128);
+}
+
+TEST(Layer, InputDimsWithStride)
+{
+    Layer l = Layer::conv("s2", 7, 112, 3, 64, 2);
+    EXPECT_EQ(l.inputHeight(), 2 * 111 + 7);
+    EXPECT_EQ(l.inputWidth(), 2 * 111 + 7);
+}
+
+TEST(Layer, TensorWords)
+{
+    Layer l = Layer::conv("x", 3, 4, 8, 16, 1, 1, 2);
+    EXPECT_DOUBLE_EQ(l.tensorWords(Tensor::Weight), 3.0 * 3 * 8 * 16);
+    EXPECT_DOUBLE_EQ(l.tensorWords(Tensor::Output), 4.0 * 4 * 16 * 2);
+    EXPECT_DOUBLE_EQ(l.tensorWords(Tensor::Input),
+            6.0 * 6 * 8 * 2); // (4-1)+3 = 6 per side
+}
+
+TEST(Layer, GemmFactoryMapsToConvDims)
+{
+    Layer g = Layer::gemm("mm", 512, 768, 3072, 4, 2);
+    EXPECT_EQ(g.p, 512);
+    EXPECT_EQ(g.c, 768);
+    EXPECT_EQ(g.k, 3072);
+    EXPECT_EQ(g.n, 4);
+    EXPECT_EQ(g.count, 2);
+    EXPECT_EQ(g.r, 1);
+    EXPECT_EQ(g.s, 1);
+    EXPECT_EQ(g.q, 1);
+    EXPECT_DOUBLE_EQ(g.macs(), 512.0 * 768 * 3072 * 4);
+}
+
+TEST(Layer, RelevanceSetsMatchPaper)
+{
+    // D_W = {R,S,C,K}
+    EXPECT_TRUE(dimRelevant(Tensor::Weight, Dim::R));
+    EXPECT_TRUE(dimRelevant(Tensor::Weight, Dim::S));
+    EXPECT_TRUE(dimRelevant(Tensor::Weight, Dim::C));
+    EXPECT_TRUE(dimRelevant(Tensor::Weight, Dim::K));
+    EXPECT_FALSE(dimRelevant(Tensor::Weight, Dim::P));
+    EXPECT_FALSE(dimRelevant(Tensor::Weight, Dim::Q));
+    EXPECT_FALSE(dimRelevant(Tensor::Weight, Dim::N));
+    // D_I = {R,S,P,Q,C,N}
+    EXPECT_TRUE(dimRelevant(Tensor::Input, Dim::P));
+    EXPECT_FALSE(dimRelevant(Tensor::Input, Dim::K));
+    // D_O = {P,Q,K,N}
+    EXPECT_TRUE(dimRelevant(Tensor::Output, Dim::K));
+    EXPECT_FALSE(dimRelevant(Tensor::Output, Dim::C));
+    EXPECT_FALSE(dimRelevant(Tensor::Output, Dim::R));
+}
+
+TEST(Layer, SameShapeIgnoresNameAndCount)
+{
+    Layer a = Layer::conv("a", 3, 56, 64, 64, 1, 3);
+    Layer b = Layer::conv("b", 3, 56, 64, 64, 1, 7);
+    EXPECT_TRUE(a.sameShape(b));
+    Layer c = Layer::conv("c", 3, 56, 64, 128);
+    EXPECT_FALSE(a.sameShape(c));
+}
+
+TEST(Layer, StrAndValid)
+{
+    Layer l = Layer::conv("named", 3, 8, 4, 4);
+    EXPECT_NE(l.str().find("named"), std::string::npos);
+    EXPECT_TRUE(l.valid());
+    l.c = 0;
+    EXPECT_FALSE(l.valid());
+}
+
+class ZooNetwork : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ZooNetwork, AllLayersValidAndNamed)
+{
+    Network net = networkByName(GetParam());
+    EXPECT_EQ(net.name, GetParam());
+    ASSERT_FALSE(net.layers.empty());
+    for (const Layer &l : net.layers) {
+        EXPECT_TRUE(l.valid()) << l.str();
+        EXPECT_FALSE(l.name.empty());
+        EXPECT_GE(l.count, 1);
+    }
+    EXPECT_GT(net.totalMacs(), 1e6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, ZooNetwork,
+        ::testing::Values("resnet50", "bert", "unet", "retinanet",
+                          "alexnet", "vgg16", "resnext50", "deepbench"));
+
+TEST(Zoo, ResNet50MacsInKnownRange)
+{
+    // ~4.1 GMACs for batch 1 at 224x224.
+    double g = resnet50().totalMacs() / 1e9;
+    EXPECT_GT(g, 3.0);
+    EXPECT_LT(g, 5.5);
+}
+
+TEST(Zoo, Vgg16MacsInKnownRange)
+{
+    // ~15.5 GMACs for batch 1.
+    double g = vgg16().totalMacs() / 1e9;
+    EXPECT_GT(g, 13.0);
+    EXPECT_LT(g, 18.0);
+}
+
+TEST(Zoo, AlexnetMacsInKnownRange)
+{
+    // ~1.1 GMACs for batch 1 in the ungrouped formulation (the
+    // original two-GPU grouping halves three of the conv layers).
+    double g = alexnet().totalMacs() / 1e9;
+    EXPECT_GT(g, 0.7);
+    EXPECT_LT(g, 1.4);
+}
+
+TEST(Zoo, BertUsesGemmShapes)
+{
+    Network net = bertBase();
+    for (const Layer &l : net.layers) {
+        EXPECT_EQ(l.r, 1) << l.str();
+        EXPECT_EQ(l.s, 1) << l.str();
+        EXPECT_EQ(l.q, 1) << l.str();
+    }
+    // 12 encoder layers x (4 projections + 2 FFN + 2 attention) GEMMs.
+    int64_t total_count = 0;
+    for (const Layer &l : net.layers)
+        total_count += l.count;
+    EXPECT_EQ(total_count, 12 * 8);
+}
+
+TEST(Zoo, TargetAndTrainingWorkloadsMatchTable6)
+{
+    auto targets = targetWorkloads();
+    ASSERT_EQ(targets.size(), 4u);
+    EXPECT_EQ(targets[0].name, "unet");
+    EXPECT_EQ(targets[1].name, "resnet50");
+    EXPECT_EQ(targets[2].name, "bert");
+    EXPECT_EQ(targets[3].name, "retinanet");
+    auto training = trainingWorkloads();
+    ASSERT_EQ(training.size(), 4u);
+}
+
+TEST(Zoo, UniqueTrainingLayersHaveNoDuplicates)
+{
+    auto layers = uniqueTrainingLayers();
+    EXPECT_GT(layers.size(), 30u);
+    for (size_t i = 0; i < layers.size(); ++i)
+        for (size_t j = i + 1; j < layers.size(); ++j)
+            EXPECT_FALSE(layers[i].sameShape(layers[j]))
+                    << layers[i].str() << " vs " << layers[j].str();
+}
+
+TEST(Zoo, ResnextGroupedConvPreservesMacScale)
+{
+    // Grouped 3x3 at stage 1: 32 groups x (3*3*56*56*4*4) MACs each.
+    Network net = resnext50();
+    bool found = false;
+    for (const Layer &l : net.layers) {
+        if (l.name == "rx2_g3x3") {
+            found = true;
+            EXPECT_EQ(l.n, 32);
+            EXPECT_EQ(l.c, 4);
+            EXPECT_EQ(l.k, 4);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Zoo, DimAndTensorNames)
+{
+    EXPECT_STREQ(dimName(Dim::R), "R");
+    EXPECT_STREQ(dimName(Dim::N), "N");
+    EXPECT_STREQ(tensorName(Tensor::Weight), "W");
+    EXPECT_STREQ(tensorName(Tensor::Output), "O");
+}
+
+} // namespace
+} // namespace dosa
