@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Expert baseline accelerator configurations (Fig. 8) as Gemmini-style designs.
+ */
 #include "arch/baselines.hh"
 
 namespace dosa {

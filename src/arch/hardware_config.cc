@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Gemmini-style hardware configuration: Table-2 energy/bandwidth numbers, validation and printing.
+ */
 #include "arch/hardware_config.hh"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Reverse-mode tape: node storage and the backward gradient sweep.
+ */
 #include "autodiff/tape.hh"
 
 #include "util/logging.hh"

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Var arithmetic: each operation records parents and local partials on the tape.
+ */
 #include "autodiff/var.hh"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Adam update rule over a flat parameter vector.
+ */
 #include "core/adam.hh"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * DOSA one-loop co-search driver: start sampling, Adam descent, rounding schedule, ordering re-selection and minimal-hardware inference.
+ */
 #include "core/dosa_optimizer.hh"
 
 #include <algorithm>

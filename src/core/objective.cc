@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Differentiable DOSA objective: log-space tiling parameters, log-EDP loss and the Eq 18 validity penalty.
+ */
 #include "core/objective.hh"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * GP regression: RBF kernel, Cholesky-based fit and posterior mean/variance.
+ */
 #include "gp/gaussian_process.hh"
 
 #include <cmath>

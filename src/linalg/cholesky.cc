@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Cholesky factorization and forward/back substitution.
+ */
 #include "linalg/cholesky.hh"
 
 #include <cmath>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Row-major dense matrix container and basic ops.
+ */
 #include "linalg/matrix.hh"
 
 #include "util/logging.hh"

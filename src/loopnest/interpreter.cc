@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Brute-force loop-nest execution: iteration-space walk with tile-residency tracking.
+ */
 #include "loopnest/interpreter.hh"
 
 #include <set>

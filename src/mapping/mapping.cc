@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Mapping representation: factor products, validation and pretty-printing.
+ */
 #include "mapping/mapping.hh"
 
 #include <sstream>

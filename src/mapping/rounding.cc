@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Divisor-quota rounding of continuous tiling factors to valid integer mappings (Section 5.3.2).
+ */
 #include "mapping/rounding.hh"
 
 #include "util/divisors.hh"

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Non-template entry points of the differentiable analytical model (Section 4).
+ */
 #include "model/analytical.hh"
 
 namespace dosa {

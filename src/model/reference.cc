@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Timeloop-substitute reference model: integer-exact traffic, latency and energy for concrete mappings.
+ */
 #include "model/reference.hh"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * MLP forward/backward passes and Adam training on mean-squared error.
+ */
 #include "nn/mlp.hh"
 
 #include <algorithm>

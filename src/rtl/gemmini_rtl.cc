@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Cycle-approximate Gemmini-RTL substitute simulator (Section 6.5 stand-in for FireSim).
+ */
 #include "rtl/gemmini_rtl.hh"
 
 #include <algorithm>

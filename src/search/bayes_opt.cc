@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Two-loop Bayesian-optimization co-search baseline over GP posterior LCB.
+ */
 #include "search/bayes_opt.hh"
 
 #include <algorithm>

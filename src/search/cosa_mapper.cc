@@ -1,3 +1,7 @@
+/**
+ * @file
+ * CoSA-substitute greedy constructive mapper: spatial utilization first, then buffer utilization.
+ */
 #include "search/cosa_mapper.hh"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Random-search co-design baseline and the fixed-hardware random mapper.
+ */
 #include "search/random_search.hh"
 
 #include "model/reference.hh"

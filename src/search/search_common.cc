@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Shared DSE infrastructure: traces, random hardware/mapping sampling and surrogate feature encoding.
+ */
 #include "search/search_common.hh"
 
 #include <cmath>

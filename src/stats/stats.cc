@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Spearman/Pearson correlation, MAPE, geomean and summary helpers.
+ */
 #include "stats/stats.hh"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Random-mapping dataset generation measured on the RTL substitute (Section 6.5.1).
+ */
 #include "surrogate/dataset.hh"
 
 #include <numeric>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * The three Gemmini-RTL latency predictors: analytical, DNN-only and DNN-augmented.
+ */
 #include "surrogate/latency_predictor.hh"
 
 #include <cmath>

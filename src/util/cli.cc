@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Command-line flag parsing for bench and example binaries.
+ */
 #include "util/cli.hh"
 
 #include <cstdlib>

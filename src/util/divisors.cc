@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Memoized divisor queries for mapping construction and rounding.
+ */
 #include "util/divisors.hh"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Seeded random-number utilities for reproducible experiments.
+ */
 #include "util/rng.hh"
 
 #include <cmath>

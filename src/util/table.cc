@@ -1,3 +1,7 @@
+/**
+ * @file
+ * ASCII table rendering and CSV mirroring for bench output.
+ */
 #include "util/table.hh"
 
 #include <algorithm>

@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Seven-dimensional layer arithmetic: MAC counts, tensor sizes and naming.
+ */
 #include "workload/layer.hh"
 
 #include <sstream>

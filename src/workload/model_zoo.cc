@@ -1,3 +1,7 @@
+/**
+ * @file
+ * Table-6 workload definitions: target and training networks.
+ */
 #include "workload/model_zoo.hh"
 
 #include <algorithm>

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Build-plumbing smoke test: drives one Layer + Mapping +
+ * HardwareConfig end-to-end through the CoSA-substitute mapper, the
+ * differentiable analytical model and the reference model, proving the
+ * dosa static library compiles and links as a unit. Kept deliberately
+ * tiny — the per-subsystem suites own the real coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/hardware_config.hh"
+#include "mapping/mapping.hh"
+#include "model/analytical.hh"
+#include "model/reference.hh"
+#include "search/cosa_mapper.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+namespace {
+
+TEST(Smoke, LayerMappingHardwareThroughAnalyticalModel)
+{
+    Layer l;
+    l.name = "smoke_conv3x3";
+    l.r = 3;
+    l.s = 3;
+    l.p = 14;
+    l.q = 14;
+    l.c = 32;
+    l.k = 32;
+
+    HardwareConfig hw; // default 16x16 Gemmini, 32 KiB accum, 128 KiB spad
+    Mapping m = cosaMap(l, hw);
+    ASSERT_TRUE(m.complete(l));
+
+    // Differentiable (here: double-instantiated) analytical model.
+    Factors<double> f = m.continuousFactors();
+    LayerCounts<double> counts = computeCounts(l, f, m.order);
+    LayerPerf<double> perf = computePerf(counts, hwScalars<double>(hw));
+    EXPECT_TRUE(std::isfinite(perf.latency));
+    EXPECT_TRUE(std::isfinite(perf.energy_uj));
+    EXPECT_GT(perf.latency, 0.0);
+    EXPECT_GT(perf.energy_uj, 0.0);
+
+    // Independent reference model on the same concrete design.
+    RefEval ref = referenceEval(l, m, hw);
+    EXPECT_GT(ref.latency, 0.0);
+    EXPECT_GT(ref.energy_uj, 0.0);
+    EXPECT_GT(ref.edp, 0.0);
+
+    // The two independently coded models agree on this simple layer.
+    EXPECT_NEAR(perf.latency / ref.latency, 1.0, 0.05);
+    EXPECT_NEAR(perf.energy_uj / ref.energy_uj, 1.0, 0.05);
+
+    // Minimal-hardware inference supports the mapping it came from.
+    HardwareConfig min_hw = inferMinimalHw({l}, {m});
+    EXPECT_GE(hw.pe_dim, min_hw.pe_dim);
+    EXPECT_TRUE(referenceEval(l, m, min_hw).fits);
+}
+
+} // namespace
+} // namespace dosa
