@@ -28,10 +28,11 @@ main(int argc, char **argv)
 {
     bench::Scale scale = bench::parseScale(argc, argv);
     bench::banner("Ablation: DOSA optimizer design choices", scale);
+    bench::WallTimer timer;
 
-    const int runs = scale.pick(2, 3);
-    const int starts = scale.pick(5, 7);
-    const int steps = scale.pick(900, 1490);
+    const int runs = scale.pick(1, 2, 3);
+    const int starts = scale.pick(2, 5, 7);
+    const int steps = scale.pick(40, 900, 1490);
 
     struct Variant
     {
@@ -60,6 +61,7 @@ main(int argc, char **argv)
             std::vector<double> bests;
             for (int run = 0; run < runs; ++run) {
                 DosaConfig cfg;
+                cfg.jobs = scale.jobs;
                 cfg.start_points = v.start_points;
                 cfg.steps_per_start = steps;
                 cfg.round_every = 300;
@@ -85,5 +87,6 @@ main(int argc, char **argv)
                 "mainly stabilizes single-start and fixed-PE runs "
                 "(see DESIGN.md).");
     table.writeCsv("bench_ablation.csv");
+    bench::perfFooter(timer);
     return 0;
 }

@@ -53,11 +53,12 @@ main(int argc, char **argv)
     bench::Scale scale = bench::parseScale(argc, argv);
     bench::banner("Figure 12 + Table 7: Gemmini-RTL optimization with "
                   "learned latency models", scale);
+    bench::WallTimer timer;
 
-    const int dataset_size = scale.pick(800, 1567);
-    const int epochs = scale.pick(300, 2000);
-    const int starts = scale.pick(4, 7);
-    const int steps = scale.pick(900, 1490);
+    const int dataset_size = scale.pick(120, 800, 1567);
+    const int epochs = scale.pick(30, 300, 2000);
+    const int starts = scale.pick(2, 4, 7);
+    const int steps = scale.pick(40, 900, 1490);
 
     SurrogateDataset train = generateSurrogateDataset(dataset_size,
             scale.seed);
@@ -102,9 +103,10 @@ main(int argc, char **argv)
         for (size_t si = 0; si < 3; ++si) {
             const Setup &s = setups[si];
             DosaConfig cfg;
+            cfg.jobs = scale.jobs;
             cfg.start_points = starts;
             cfg.steps_per_start = steps;
-            cfg.round_every = scale.pick(300, 500);
+            cfg.round_every = scale.pick(20, 300, 500);
             cfg.mode.fix_pe = true;
             cfg.mode.pe_dim = 16;
             cfg.mode.latency_model = s.diff;
@@ -142,5 +144,6 @@ main(int argc, char **argv)
     table7.print();
     fig12.writeCsv("bench_fig12.csv");
     table7.writeCsv("bench_table7.csv");
+    bench::perfFooter(timer);
     return 0;
 }

@@ -28,21 +28,31 @@ main(int argc, char **argv)
     bench::Scale scale = bench::parseScale(argc, argv);
     bench::banner("Figure 4: differentiable model vs reference "
                   "(Timeloop substitute)", scale);
+    bench::WallTimer timer;
 
-    const int num_configs = scale.pick(20, 100);
-    const int maps_per_config = scale.pick(25, 100);
+    const int num_configs = scale.pick(4, 20, 100);
+    const int maps_per_config = scale.pick(10, 25, 100);
 
     std::vector<Layer> layers = uniqueTrainingLayers();
     std::printf("layers: %zu unique, configs: %d, total mappings: %d\n",
             layers.size(), num_configs, num_configs * maps_per_config);
 
-    Rng rng(scale.seed);
-    std::vector<double> lat_model, lat_ref, en_model, en_ref, edp_model,
-            edp_ref;
-    std::vector<double> small_layer_err; // error on tiny-energy layers
+    /** Model-vs-reference points collected by one config's task. */
+    struct ConfigPoints
+    {
+        std::vector<double> lat_model, lat_ref, en_model, en_ref,
+                edp_model, edp_ref;
+        std::vector<double> small_layer_err; // tiny-energy layers
+    };
 
-    for (int cfg_i = 0; cfg_i < num_configs; ++cfg_i) {
+    // Config cfg_i draws its hardware and all of its mappings from
+    // stream (seed, cfg_i); --jobs fans the configs out.
+    ThreadPool pool(scale.jobs);
+    auto per_config = pool.parallelMap(
+            static_cast<size_t>(num_configs), [&](size_t cfg_i) {
+        Rng rng = Rng::stream(scale.seed, cfg_i);
         HardwareConfig hw = randomHardware(rng);
+        ConfigPoints pts;
         for (int s = 0; s < maps_per_config; ++s) {
             const Layer &l = layers[size_t(rng.uniformInt(0,
                     static_cast<int64_t>(layers.size()) - 1))];
@@ -54,18 +64,36 @@ main(int argc, char **argv)
             LayerPerf<double> perf =
                     computePerf(c, hwScalars<double>(hw));
 
-            lat_model.push_back(perf.latency);
-            lat_ref.push_back(ref.latency);
-            en_model.push_back(perf.energy_uj);
-            en_ref.push_back(ref.energy_uj);
-            edp_model.push_back(perf.latency * perf.energy_uj);
-            edp_ref.push_back(ref.edp);
+            pts.lat_model.push_back(perf.latency);
+            pts.lat_ref.push_back(ref.latency);
+            pts.en_model.push_back(perf.energy_uj);
+            pts.en_ref.push_back(ref.energy_uj);
+            pts.edp_model.push_back(perf.latency * perf.energy_uj);
+            pts.edp_ref.push_back(ref.edp);
             if (ref.energy_uj < 1e-2) {
-                small_layer_err.push_back(100.0 *
+                pts.small_layer_err.push_back(100.0 *
                         std::abs(perf.energy_uj - ref.energy_uj) /
                         ref.energy_uj);
             }
         }
+        return pts;
+    });
+
+    std::vector<double> lat_model, lat_ref, en_model, en_ref, edp_model,
+            edp_ref;
+    std::vector<double> small_layer_err;
+    for (const ConfigPoints &pts : per_config) {
+        auto append = [](std::vector<double> &dst,
+                         const std::vector<double> &src) {
+            dst.insert(dst.end(), src.begin(), src.end());
+        };
+        append(lat_model, pts.lat_model);
+        append(lat_ref, pts.lat_ref);
+        append(en_model, pts.en_model);
+        append(en_ref, pts.en_ref);
+        append(edp_model, pts.edp_model);
+        append(edp_ref, pts.edp_ref);
+        append(small_layer_err, pts.small_layer_err);
     }
 
     TablePrinter table({"metric", "MAE (%)", "max err (%)",
@@ -97,5 +125,6 @@ main(int argc, char **argv)
     }
     std::printf("\nSpearman(model, reference) EDP: %.4f\n",
             spearman(edp_model, edp_ref));
+    bench::perfFooter(timer);
     return 0;
 }

@@ -25,13 +25,14 @@ main(int argc, char **argv)
     bench::Scale scale = bench::parseScale(argc, argv);
     bench::banner("Figure 6: loop-ordering strategies (Baseline / "
                   "Iterate / Softmax)", scale);
+    bench::WallTimer timer;
 
     // Paper setup (Section 6.1): 7 start points, round every 300
     // steps, 890 steps per start, 3 runs.
-    const int starts = scale.pick(4, 7);
-    const int steps = scale.pick(600, 890);
-    const int round_every = scale.pick(300, 300);
-    const int runs = scale.pick(2, 3);
+    const int starts = scale.pick(2, 4, 7);
+    const int steps = scale.pick(40, 600, 890);
+    const int round_every = scale.pick(20, 300, 300);
+    const int runs = scale.pick(1, 2, 3);
 
     const OrderStrategy strategies[] = {OrderStrategy::Fixed,
             OrderStrategy::Iterate, OrderStrategy::Softmax};
@@ -49,6 +50,7 @@ main(int argc, char **argv)
             std::vector<std::vector<double>> traces;
             for (int run = 0; run < runs; ++run) {
                 DosaConfig cfg;
+                cfg.jobs = scale.jobs;
                 cfg.start_points = starts;
                 cfg.steps_per_start = steps;
                 cfg.round_every = round_every;
@@ -85,5 +87,6 @@ main(int argc, char **argv)
     series.print();
     table.writeCsv("bench_fig6.csv");
     series.writeCsv("bench_fig6_series.csv");
+    bench::perfFooter(timer);
     return 0;
 }

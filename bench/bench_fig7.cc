@@ -7,6 +7,10 @@
  * Paper: geomean EDP improvement of DOSA is 2.80x over random search
  * and 12.59x over BB-BO at ~10k samples; BB-BO leads below ~1000
  * samples, then stalls.
+ *
+ * --jobs N fans out over (workload, run, algorithm) cells on the
+ * shared ThreadPool; every cell is seeded independently, so the
+ * tables are identical for any job count.
  */
 
 #include <algorithm>
@@ -41,12 +45,51 @@ main(int argc, char **argv)
     bench::Scale scale = bench::parseScale(argc, argv);
     bench::banner("Figure 7: DOSA vs Random vs BB-BO co-search",
             scale);
+    bench::WallTimer timer;
 
-    const int runs = scale.pick(2, 5);
-    const int starts = scale.pick(5, 7);
-    const int steps = scale.pick(600, 1490);
-    const int round_every = scale.pick(300, 500);
+    const int runs = scale.pick(1, 2, 5);
+    const int starts = scale.pick(2, 5, 7);
+    const int steps = scale.pick(40, 600, 1490);
+    const int round_every = scale.pick(20, 300, 500);
     const int samples = starts * (steps + 1);
+
+    const std::vector<Network> nets = targetWorkloads();
+    const size_t cells = nets.size() * static_cast<size_t>(runs) * 3;
+
+    // One task per (workload, run, algorithm) cell, each on its own
+    // seed; the pool fans the independent cells out over --jobs.
+    ThreadPool pool(scale.jobs);
+    auto traces = pool.parallelMap(cells, [&](size_t cell) {
+        size_t ni = cell / (static_cast<size_t>(runs) * 3);
+        size_t run = cell / 3 % static_cast<size_t>(runs);
+        size_t alg = cell % 3;
+        const Network &net = nets[ni];
+        uint64_t seed = scale.seed + 1000 * uint64_t(run);
+
+        if (alg == 0) {
+            DosaConfig dcfg;
+            dcfg.start_points = starts;
+            dcfg.steps_per_start = steps;
+            dcfg.round_every = round_every;
+            dcfg.seed = seed;
+            return dosaSearch(net.layers, dcfg).search.trace;
+        }
+        if (alg == 1) {
+            RandomSearchConfig rcfg;
+            rcfg.hw_designs = scale.pick(3, 5, 10);
+            rcfg.mappings_per_hw = samples / rcfg.hw_designs;
+            rcfg.seed = seed;
+            return randomSearch(net.layers, rcfg).trace;
+        }
+        BayesOptConfig bcfg;
+        bcfg.warmup_samples = scale.pick(5, 20, 60);
+        bcfg.total_samples = scale.pick(15, 80, 250);
+        bcfg.hw_candidates = scale.pick(2, 4, 8);
+        bcfg.map_candidates = scale.pick(4, 8, 16);
+        bcfg.max_train_points = scale.pick(100, 300, 500);
+        bcfg.seed = seed;
+        return bayesOptSearch(net.layers, bcfg).trace;
+    });
 
     TablePrinter series({"workload", "algorithm", "samples",
                          "mean best EDP"});
@@ -54,33 +97,15 @@ main(int argc, char **argv)
                          "DOSA/Random", "DOSA/BO"});
     std::vector<double> ratio_random, ratio_bo;
 
-    for (const Network &net : targetWorkloads()) {
+    for (size_t ni = 0; ni < nets.size(); ++ni) {
+        const Network &net = nets[ni];
         std::vector<std::vector<double>> tr_dosa, tr_rand, tr_bo;
         for (int run = 0; run < runs; ++run) {
-            uint64_t seed = scale.seed + 1000 * uint64_t(run);
-
-            DosaConfig dcfg;
-            dcfg.start_points = starts;
-            dcfg.steps_per_start = steps;
-            dcfg.round_every = round_every;
-            dcfg.seed = seed;
-            tr_dosa.push_back(
-                    dosaSearch(net.layers, dcfg).search.trace);
-
-            RandomSearchConfig rcfg;
-            rcfg.hw_designs = scale.pick(5, 10);
-            rcfg.mappings_per_hw = samples / rcfg.hw_designs;
-            rcfg.seed = seed;
-            tr_rand.push_back(randomSearch(net.layers, rcfg).trace);
-
-            BayesOptConfig bcfg;
-            bcfg.warmup_samples = scale.pick(20, 60);
-            bcfg.total_samples = scale.pick(80, 250);
-            bcfg.hw_candidates = scale.pick(4, 8);
-            bcfg.map_candidates = scale.pick(8, 16);
-            bcfg.max_train_points = scale.pick(300, 500);
-            bcfg.seed = seed;
-            tr_bo.push_back(bayesOptSearch(net.layers, bcfg).trace);
+            size_t base = (ni * static_cast<size_t>(runs) +
+                    static_cast<size_t>(run)) * 3;
+            tr_dosa.push_back(traces[base]);
+            tr_rand.push_back(traces[base + 1]);
+            tr_bo.push_back(traces[base + 2]);
         }
 
         for (size_t i = size_t(samples) / 8; i <= size_t(samples);
@@ -113,5 +138,6 @@ main(int argc, char **argv)
             geomean(ratio_random), geomean(ratio_bo));
     series.writeCsv("bench_fig7_series.csv");
     finals.writeCsv("bench_fig7.csv");
+    bench::perfFooter(timer);
     return 0;
 }

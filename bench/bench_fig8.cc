@@ -29,19 +29,21 @@ main(int argc, char **argv)
     bench::Scale scale = bench::parseScale(argc, argv);
     bench::banner("Figure 8: expert baselines vs DOSA-optimized "
                   "Gemmini", scale);
+    bench::WallTimer timer;
 
-    const int mapper_samples = scale.pick(1000, 10000);
-    const int starts = scale.pick(5, 7);
-    const int steps = scale.pick(900, 1490);
+    const int mapper_samples = scale.pick(40, 1000, 10000);
+    const int starts = scale.pick(2, 5, 7);
+    const int steps = scale.pick(40, 900, 1490);
 
     TablePrinter table({"workload", "accelerator", "EDP (uJ*cycles)",
                         "normalized to DOSA"});
 
     for (const Network &net : targetWorkloads()) {
         DosaConfig cfg;
+        cfg.jobs = scale.jobs;
         cfg.start_points = starts;
         cfg.steps_per_start = steps;
-        cfg.round_every = scale.pick(300, 500);
+        cfg.round_every = scale.pick(20, 300, 500);
         cfg.seed = scale.seed;
         DosaResult dosa = dosaSearch(net.layers, cfg);
         double dosa_edp = dosa.search.best_edp;
@@ -49,7 +51,8 @@ main(int argc, char **argv)
         for (const BaselineAccelerator &base : allBaselines()) {
             // Random-pruned mapper.
             SearchResult rnd = randomMapperSearch(net.layers,
-                    base.config, mapper_samples, scale.seed);
+                    base.config, mapper_samples, scale.seed,
+                    scale.jobs);
             // CoSA-substitute mapper.
             std::vector<Mapping> cosa_maps;
             for (const Layer &l : net.layers)
@@ -69,5 +72,6 @@ main(int argc, char **argv)
                 "4.4x; ResNet-50: 7.8x/17.9x/2.1x/2.5x; BERT: 11.4x/"
                 "42.6x/4.0x/5.3x; RetinaNet: 10.4x/19.5x/2.3x/3.1x)");
     table.writeCsv("bench_fig8.csv");
+    bench::perfFooter(timer);
     return 0;
 }

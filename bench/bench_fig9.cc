@@ -29,10 +29,11 @@ main(int argc, char **argv)
 {
     bench::Scale scale = bench::parseScale(argc, argv);
     bench::banner("Figure 9: hardware vs mapping attribution", scale);
+    bench::WallTimer timer;
 
-    const int gd_runs = scale.pick(4, 10);
-    const int steps = scale.pick(900, 1490);
-    const int random_maps = scale.pick(400, 1000);
+    const int gd_runs = scale.pick(1, 4, 10);
+    const int steps = scale.pick(40, 900, 1490);
+    const int random_maps = scale.pick(40, 400, 1000);
 
     TablePrinter table({"workload", "start HW + CoSA",
                         "DOSA HW + CoSA", "DOSA HW + random",
@@ -43,9 +44,10 @@ main(int argc, char **argv)
         std::vector<double> e_start, e_cosa, e_rand, e_dosa;
         for (int run = 0; run < gd_runs; ++run) {
             DosaConfig cfg;
+            cfg.jobs = scale.jobs;
             cfg.start_points = 1;
             cfg.steps_per_start = steps;
-            cfg.round_every = scale.pick(300, 500);
+            cfg.round_every = scale.pick(20, 300, 500);
             cfg.seed = scale.seed + 31 * uint64_t(run);
             DosaResult r = dosaSearch(net.layers, cfg);
 
@@ -62,7 +64,7 @@ main(int argc, char **argv)
             // DOSA hardware under a random mapper.
             e_rand.push_back(randomMapperSearch(net.layers,
                     r.search.best_hw, random_maps,
-                    cfg.seed).best_edp);
+                    cfg.seed, scale.jobs).best_edp);
         }
         double g_start = geomean(e_start), g_cosa = geomean(e_cosa);
         double g_rand = geomean(e_rand), g_dosa = geomean(e_dosa);
@@ -87,5 +89,6 @@ main(int argc, char **argv)
     std::printf("  DOSA mappings vs random on DOSA HW: %.2fx "
                 "(paper 2.78x)\n", geomean(r_random));
     table.writeCsv("bench_fig9.csv");
+    bench::perfFooter(timer);
     return 0;
 }

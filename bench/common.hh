@@ -3,9 +3,13 @@
  * Shared helpers for the figure-reproduction benchmark binaries.
  *
  * Every bench accepts:
- *   --quick   reduced sample counts (default; CI-friendly)
- *   --full    paper-scale sample counts
- *   --seed N  base RNG seed (default 1)
+ *   --quick     reduced sample counts (default; CI-friendly)
+ *   --full      paper-scale sample counts
+ *   --smoke     tiny sample counts (seconds; the CTest smoke runs)
+ *   --seed N    base RNG seed (default 1)
+ *   --jobs N    worker threads for the workload/run fan-out (default 1;
+ *               results are bit-identical for any value)
+ *   --no-cache  disable the shared evaluation cache (src/exec)
  * and prints the rows/series the corresponding paper figure reports,
  * mirroring them to CSV files in the working directory.
  */
@@ -13,9 +17,12 @@
 #ifndef DOSA_BENCH_COMMON_HH
 #define DOSA_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "exec/eval_cache.hh"
+#include "exec/thread_pool.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -25,13 +32,26 @@ namespace dosa::bench {
 struct Scale
 {
     bool full = false;
+    bool smoke = false;
     uint64_t seed = 1;
+    int jobs = 1;
+    bool no_cache = false;
 
-    /** Pick quick or full value. */
+    /** Pick quick or full value (smoke falls back to quick). */
     template <class T>
     T
     pick(T quick_v, T full_v) const
     {
+        return full ? full_v : quick_v;
+    }
+
+    /** Pick smoke, quick or full value. */
+    template <class T>
+    T
+    pick(T smoke_v, T quick_v, T full_v) const
+    {
+        if (smoke)
+            return smoke_v;
         return full ? full_v : quick_v;
     }
 };
@@ -42,8 +62,20 @@ parseScale(int argc, const char *const *argv)
     Cli cli(argc, argv);
     Scale s;
     s.full = cli.has("full");
+    s.smoke = cli.has("smoke");
     s.seed = static_cast<uint64_t>(cli.getInt("seed", 1));
+    s.jobs = static_cast<int>(cli.getInt("jobs", 1));
+    s.no_cache = cli.has("no-cache");
+    globalEvalCache().setEnabled(!s.no_cache);
     return s;
+}
+
+inline const char *
+modeName(const Scale &scale)
+{
+    if (scale.smoke)
+        return "smoke";
+    return scale.full ? "full" : "quick";
 }
 
 inline void
@@ -51,8 +83,10 @@ banner(const std::string &title, const Scale &scale)
 {
     std::printf("==================================================\n");
     std::printf("%s\n", title.c_str());
-    std::printf("mode: %s, seed: %llu\n", scale.full ? "full" : "quick",
-            static_cast<unsigned long long>(scale.seed));
+    std::printf("mode: %s, seed: %llu, jobs: %d, cache: %s\n",
+            modeName(scale),
+            static_cast<unsigned long long>(scale.seed), scale.jobs,
+            scale.no_cache ? "off" : "on");
     std::printf("==================================================\n");
 }
 
@@ -60,6 +94,34 @@ inline void
 note(const std::string &text)
 {
     std::printf("%s\n", text.c_str());
+}
+
+/** Monotonic wall-clock timer for the perf summaries. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Print the bench wall clock and the shared evaluation-cache counters
+ * — the standard perf footer of every figure bench.
+ */
+inline void
+perfFooter(const WallTimer &timer)
+{
+    std::printf("\nwall clock: %.2f s, eval cache: %s\n",
+            timer.seconds(), globalEvalCache().stats().str().c_str());
 }
 
 } // namespace dosa::bench

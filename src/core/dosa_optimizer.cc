@@ -9,6 +9,8 @@
 
 #include "arch/area_model.hh"
 #include "core/adam.hh"
+#include "exec/eval_cache.hh"
+#include "exec/thread_pool.hh"
 #include "mapping/rounding.hh"
 #include "model/reference.hh"
 #include "search/cosa_mapper.hh"
@@ -113,7 +115,7 @@ scoreDesign(const std::vector<Layer> &layers,
 {
     NetworkEval out;
     for (size_t li = 0; li < layers.size(); ++li) {
-        RefEval ev = referenceEval(layers[li], mappings[li], hw);
+        LayerEval ev = cachedEval(layers[li], mappings[li], hw);
         double lat = scorer ? scorer(layers[li], mappings[li], hw)
                             : ev.latency;
         double cnt = static_cast<double>(layers[li].count);
@@ -137,7 +139,7 @@ selectOrders(const std::vector<Layer> &layers,
         for (int o = 0; o < kNumOrders; ++o) {
             Mapping m = mappings[li];
             m.order = uniformOrder(static_cast<LoopOrder>(o));
-            RefEval ev = referenceEval(layers[li], m, hw);
+            LayerEval ev = cachedEval(layers[li], m, hw);
             double lat = scorer ? scorer(layers[li], m, hw)
                                 : ev.latency;
             double cnt = static_cast<double>(layers[li].count);
@@ -226,144 +228,243 @@ roundAndScore(const std::vector<Layer> &layers,
     return design;
 }
 
+namespace {
+
+/** One candidate start: hardware, CoSA mappings, packed variables. */
+struct StartCandidate
+{
+    HardwareConfig hw;
+    std::vector<Mapping> mappings;
+    std::vector<OrderVec> orders;
+    std::vector<double> x;
+    /** Differentiable-model EDP used by the rejection rule. */
+    double model_edp = 0.0;
+};
+
+/**
+ * Everything one start point contributes, recorded locally so starts
+ * can run on any thread and be merged in start order afterwards.
+ */
+struct StartOutcome
+{
+    /** Raw per-sample values in record() order (inf placeholders). */
+    std::vector<double> samples;
+    double best_edp = std::numeric_limits<double>::infinity();
+    HardwareConfig best_hw;
+    std::vector<Mapping> best_mappings;
+    /** Concrete start-point score (Fig. 9 attribution), if valid. */
+    bool start_valid = false;
+    double start_edp = std::numeric_limits<double>::infinity();
+    HardwareConfig start_hw;
+};
+
+/** Generate one start attempt, drawing from the start's own stream. */
+StartCandidate
+makeStartCandidate(const std::vector<Layer> &layers,
+                   const DosaConfig &cfg, Rng &rng)
+{
+    StartCandidate c;
+    c.orders.assign(layers.size(), uniformOrder(LoopOrder::WS));
+    c.mappings.resize(layers.size());
+    c.hw = randomHardware(rng);
+    if (cfg.mode.fix_pe)
+        c.hw.pe_dim = cfg.mode.pe_dim;
+    // Under an area budget, sample start hardware inside it (falling
+    // back to the smallest design point).
+    if (cfg.mode.max_area_mm2 > 0.0) {
+        for (int t = 0; t < 64 && overAreaBudget(c.hw, cfg.mode);
+             ++t) {
+            c.hw = randomHardware(rng);
+            if (cfg.mode.fix_pe)
+                c.hw.pe_dim = cfg.mode.pe_dim;
+        }
+        if (overAreaBudget(c.hw, cfg.mode))
+            c.hw = HardwareConfig{cfg.mode.fix_pe ? cfg.mode.pe_dim
+                                                  : 4, 8, 16};
+    }
+    for (size_t li = 0; li < layers.size(); ++li) {
+        c.mappings[li] = cosaMap(layers[li], c.hw);
+        c.mappings[li].order = c.orders[li];
+    }
+    for (const Mapping &m : c.mappings) {
+        std::vector<double> xl = packMapping(m);
+        c.x.insert(c.x.end(), xl.begin(), xl.end());
+    }
+    ObjectiveEval ev = evalObjective(layers, c.x, c.orders,
+            OrderStrategy::Fixed, cfg.mode);
+    c.model_edp = ev.edp;
+    return c;
+}
+
+/**
+ * Gradient descent with periodic rounding from one start point. Each
+ * rounding projects onto the divisor grid; descent restarts from the
+ * best design seen so far in this start (greedy restart keeps the
+ * search anchored while the fresh lr schedule explores). Fully
+ * deterministic given the candidate — no RNG draws past this point.
+ */
+StartOutcome
+runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
+              StartCandidate start)
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    StartOutcome out;
+    std::vector<Mapping> mappings = std::move(start.mappings);
+    std::vector<OrderVec> orders = std::move(start.orders);
+    std::vector<double> x = std::move(start.x);
+
+    // Score the concrete start point (one sample).
+    {
+        HardwareConfig hw0 = scoringHw(layers, mappings, cfg.mode);
+        NetworkEval ev0 = scoreDesign(layers, mappings, hw0,
+                cfg.score_latency);
+        bool valid0 = !overAreaBudget(hw0, cfg.mode);
+        if (valid0) {
+            out.start_valid = true;
+            out.start_edp = ev0.edp;
+            out.start_hw = hw0;
+        }
+        if (valid0 && ev0.edp < out.best_edp) {
+            out.best_edp = ev0.edp;
+            out.best_hw = hw0;
+            out.best_mappings = mappings;
+        }
+        out.samples.push_back(valid0 ? ev0.edp : kInf);
+    }
+
+    double start_best_edp = kInf;
+    std::vector<double> start_best_x = x;
+    std::vector<OrderVec> start_best_orders = orders;
+    Adam adam(x.size(), cfg.lr);
+    for (int step = 1; step <= cfg.steps_per_start; ++step) {
+        ObjectiveEval ev = evalObjective(layers, x, orders,
+                cfg.strategy, cfg.mode);
+        // Geometric decay within the current rounding segment.
+        int seg_pos = (step - 1) % cfg.round_every;
+        double frac = static_cast<double>(seg_pos) /
+                static_cast<double>(std::max(1,
+                        cfg.round_every - 1));
+        adam.step(x, ev.grad, std::pow(cfg.lr_decay, frac));
+        if (cfg.project_feasible)
+            projectFeasible(x, layers, cfg.mode.peCap());
+
+        bool round_now = (step % cfg.round_every == 0) ||
+                         step == cfg.steps_per_start;
+        if (!round_now) {
+            // Model evaluation consumed; no new concrete point.
+            out.samples.push_back(kInf);
+            continue;
+        }
+
+        RoundedDesign design = roundAndScore(layers, x, orders,
+                cfg.mode, cfg.score_latency);
+        if (cfg.strategy != OrderStrategy::Fixed) {
+            orders = selectOrders(layers, design.mappings,
+                    design.hw, cfg.score_latency);
+            NetworkEval ev2 = scoreDesign(layers, design.mappings,
+                    design.hw, cfg.score_latency);
+            design.edp = ev2.edp;
+            design.energy_uj = ev2.energy_uj;
+            design.latency = ev2.latency;
+        }
+        bool valid = !overAreaBudget(design.hw, cfg.mode);
+        if (valid && design.edp < out.best_edp) {
+            out.best_edp = design.edp;
+            out.best_hw = design.hw;
+            out.best_mappings = design.mappings;
+        }
+        out.samples.push_back(valid ? design.edp : kInf);
+
+        // Project the variables onto the rounded point; if this
+        // rounding regressed, fall back to the best point of the
+        // current start. Either way the moments restart.
+        x.clear();
+        for (const Mapping &m : design.mappings) {
+            std::vector<double> xl = packMapping(m);
+            x.insert(x.end(), xl.begin(), xl.end());
+        }
+        if (valid && design.edp < start_best_edp) {
+            start_best_edp = design.edp;
+            start_best_x = x;
+            start_best_orders = orders;
+        } else if (cfg.restart_from_best) {
+            x = start_best_x;
+            orders = start_best_orders;
+        }
+        adam.reset();
+    }
+    return out;
+}
+
+} // namespace
+
 DosaResult
 dosaSearch(const std::vector<Layer> &layers, const DosaConfig &cfg)
 {
-    Rng rng(cfg.seed);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
     DosaResult result;
-    result.best_start_edp = std::numeric_limits<double>::infinity();
-    double best_start_model_edp =
-            std::numeric_limits<double>::infinity();
+    result.best_start_edp = kInf;
 
-    for (int sp = 0; sp < cfg.start_points; ++sp) {
-        // ---- Start-point generation with rejection (Section 5.3.1).
-        std::vector<Mapping> mappings(layers.size());
-        std::vector<double> x;
-        std::vector<OrderVec> orders(layers.size(),
-                uniformOrder(LoopOrder::WS));
-        HardwareConfig start_hw;
-        double start_model_edp = 0.0;
+    ThreadPool pool(cfg.jobs);
+    const size_t num_starts = static_cast<size_t>(cfg.start_points);
+    const int tries = std::max(1, cfg.max_start_tries);
 
-        for (int attempt = 0; attempt < cfg.max_start_tries; ++attempt) {
-            start_hw = randomHardware(rng);
-            if (cfg.mode.fix_pe)
-                start_hw.pe_dim = cfg.mode.pe_dim;
-            // Under an area budget, sample start hardware inside it
-            // (falling back to the smallest design point).
-            if (cfg.mode.max_area_mm2 > 0.0) {
-                for (int t = 0; t < 64 &&
-                     overAreaBudget(start_hw, cfg.mode); ++t) {
-                    start_hw = randomHardware(rng);
-                    if (cfg.mode.fix_pe)
-                        start_hw.pe_dim = cfg.mode.pe_dim;
-                }
-                if (overAreaBudget(start_hw, cfg.mode))
-                    start_hw = HardwareConfig{cfg.mode.fix_pe
-                            ? cfg.mode.pe_dim : 4, 8, 16};
-            }
-            for (size_t li = 0; li < layers.size(); ++li) {
-                mappings[li] = cosaMap(layers[li], start_hw);
-                mappings[li].order = orders[li];
-            }
-            x.clear();
-            for (const Mapping &m : mappings) {
-                std::vector<double> xl = packMapping(m);
-                x.insert(x.end(), xl.begin(), xl.end());
-            }
-            ObjectiveEval ev = evalObjective(layers, x, orders,
-                    OrderStrategy::Fixed, cfg.mode);
-            start_model_edp = ev.edp;
-            if (start_model_edp <=
-                cfg.reject_factor * best_start_model_edp)
+    // ---- Phase 1 (parallel): candidate attempts per start point.
+    // Start sp draws from its own stream (cfg.seed, sp), so attempts
+    // are identical for any thread count or scheduling order. All
+    // `tries` attempts are generated eagerly because the rejection
+    // threshold couples start points; generation is a few model
+    // evaluations against thousands of descent steps.
+    auto attempts = pool.parallelMap(num_starts, [&](size_t sp) {
+        Rng rng = Rng::stream(cfg.seed, sp);
+        std::vector<StartCandidate> a;
+        a.reserve(static_cast<size_t>(tries));
+        for (int t = 0; t < tries; ++t)
+            a.push_back(makeStartCandidate(layers, cfg, rng));
+        return a;
+    });
+
+    // ---- Phase 2 (serial, cheap): rejection rule (Section 5.3.1) —
+    // accept the first attempt predicted within reject_factor of the
+    // best start so far, else keep the last attempt.
+    std::vector<StartCandidate> starts;
+    starts.reserve(num_starts);
+    double best_start_model_edp = kInf;
+    for (std::vector<StartCandidate> &a : attempts) {
+        size_t chosen = a.size() - 1;
+        for (size_t t = 0; t < a.size(); ++t) {
+            if (a[t].model_edp <=
+                cfg.reject_factor * best_start_model_edp) {
+                chosen = t;
                 break;
+            }
         }
-        best_start_model_edp =
-                std::min(best_start_model_edp, start_model_edp);
+        best_start_model_edp = std::min(best_start_model_edp,
+                a[chosen].model_edp);
+        starts.push_back(std::move(a[chosen]));
+    }
 
-        // Score the concrete start point (one sample).
-        {
-            HardwareConfig hw0 = scoringHw(layers, mappings, cfg.mode);
-            NetworkEval ev0 = scoreDesign(layers, mappings, hw0,
-                    cfg.score_latency);
-            bool valid0 = !overAreaBudget(hw0, cfg.mode);
-            if (valid0 && ev0.edp < result.best_start_edp) {
-                result.best_start_edp = ev0.edp;
-                result.best_start_hw = hw0;
-            }
-            if (valid0 && ev0.edp < result.search.best_edp) {
-                result.search.best_hw = hw0;
-                result.search.best_mappings = mappings;
-            }
-            result.search.record(valid0 ? ev0.edp
-                    : std::numeric_limits<double>::infinity());
+    // ---- Phase 3 (parallel): gradient descent per start point.
+    auto outcomes = pool.parallelMap(starts.size(), [&](size_t sp) {
+        return runStartPoint(layers, cfg, std::move(starts[sp]));
+    });
+
+    // ---- Phase 4 (serial): merge in start order. Concatenating the
+    // per-start sample records reproduces the serial trace (the Fig. 7
+    // sample-order convention) byte for byte; the best-design check
+    // runs before this start's samples so strict-< tie-breaking
+    // matches the serial stream.
+    for (const StartOutcome &o : outcomes) {
+        if (o.start_valid && o.start_edp < result.best_start_edp) {
+            result.best_start_edp = o.start_edp;
+            result.best_start_hw = o.start_hw;
         }
-
-        // ---- Gradient descent with periodic rounding. Each rounding
-        // projects onto the divisor grid; descent restarts from the
-        // best design seen so far in this start (greedy restart keeps
-        // the search anchored while the fresh lr schedule explores).
-        double start_best_edp = std::numeric_limits<double>::infinity();
-        std::vector<double> start_best_x = x;
-        std::vector<OrderVec> start_best_orders = orders;
-        Adam adam(x.size(), cfg.lr);
-        for (int step = 1; step <= cfg.steps_per_start; ++step) {
-            ObjectiveEval ev = evalObjective(layers, x, orders,
-                    cfg.strategy, cfg.mode);
-            // Geometric decay within the current rounding segment.
-            int seg_pos = (step - 1) % cfg.round_every;
-            double frac = static_cast<double>(seg_pos) /
-                    static_cast<double>(std::max(1,
-                            cfg.round_every - 1));
-            adam.step(x, ev.grad, std::pow(cfg.lr_decay, frac));
-            if (cfg.project_feasible)
-                projectFeasible(x, layers, cfg.mode.peCap());
-
-            bool round_now = (step % cfg.round_every == 0) ||
-                             step == cfg.steps_per_start;
-            if (!round_now) {
-                // Model evaluation consumed; no new concrete point.
-                result.search.record(
-                        std::numeric_limits<double>::infinity());
-                continue;
-            }
-
-            RoundedDesign design = roundAndScore(layers, x, orders,
-                    cfg.mode, cfg.score_latency);
-            if (cfg.strategy != OrderStrategy::Fixed) {
-                orders = selectOrders(layers, design.mappings,
-                        design.hw, cfg.score_latency);
-                NetworkEval ev2 = scoreDesign(layers, design.mappings,
-                        design.hw, cfg.score_latency);
-                design.edp = ev2.edp;
-                design.energy_uj = ev2.energy_uj;
-                design.latency = ev2.latency;
-            }
-            bool valid = !overAreaBudget(design.hw, cfg.mode);
-            if (valid && design.edp < result.search.best_edp) {
-                result.search.best_hw = design.hw;
-                result.search.best_mappings = design.mappings;
-            }
-            result.search.record(valid ? design.edp
-                    : std::numeric_limits<double>::infinity());
-
-            // Project the variables onto the rounded point; if this
-            // rounding regressed, fall back to the best point of the
-            // current start. Either way the moments restart.
-            x.clear();
-            for (const Mapping &m : design.mappings) {
-                std::vector<double> xl = packMapping(m);
-                x.insert(x.end(), xl.begin(), xl.end());
-            }
-            if (valid && design.edp < start_best_edp) {
-                start_best_edp = design.edp;
-                start_best_x = x;
-                start_best_orders = orders;
-            } else if (cfg.restart_from_best) {
-                x = start_best_x;
-                orders = start_best_orders;
-            }
-            adam.reset();
+        if (o.best_edp < result.search.best_edp) {
+            result.search.best_hw = o.best_hw;
+            result.search.best_mappings = o.best_mappings;
         }
+        for (double s : o.samples)
+            result.search.record(s);
     }
     return result;
 }

@@ -50,6 +50,12 @@ struct DosaConfig
     OrderStrategy strategy = OrderStrategy::Iterate;
     ObjectiveMode mode;
     uint64_t seed = 1;
+    /**
+     * Worker threads for the start points (independent given per-start
+     * RNG streams). Results are bit-identical for any value; 1 runs
+     * fully serial on the calling thread.
+     */
+    int jobs = 1;
     /** Reject starts predicted worse than reject_factor x best start. */
     double reject_factor = 10.0;
     int max_start_tries = 5;

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Mutex-striped referenceEval memoization behind the searchers.
+ */
+#include "exec/eval_cache.hh"
+
+#include "model/reference.hh"
+
+namespace dosa {
+
+namespace {
+
+/** splitmix64-style word mixer for hash combining. */
+uint64_t
+mixWord(uint64_t h, uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return h ^ (h >> 27);
+}
+
+LayerEval
+computeEval(const Layer &layer, const Mapping &mapping,
+            const HardwareConfig &hw)
+{
+    RefEval ev = referenceEval(layer, mapping, hw);
+    LayerEval out;
+    out.latency = ev.latency;
+    out.energy_uj = ev.energy_uj;
+    out.edp = ev.edp;
+    out.fits = ev.fits;
+    return out;
+}
+
+} // namespace
+
+size_t
+EvalCache::KeyHash::operator()(const Key &k) const
+{
+    uint64_t h = 0x51ed270b0a1f8ce1ull;
+    for (int64_t v : k.layer)
+        h = mixWord(h, static_cast<uint64_t>(v));
+    for (const auto &lvl : k.factors.temporal)
+        for (int64_t v : lvl)
+            h = mixWord(h, static_cast<uint64_t>(v));
+    h = mixWord(h, static_cast<uint64_t>(k.factors.spatial_c));
+    h = mixWord(h, static_cast<uint64_t>(k.factors.spatial_k));
+    uint64_t ow = 0;
+    for (LoopOrder o : k.order)
+        ow = ow * 4 + static_cast<uint64_t>(o);
+    h = mixWord(h, ow);
+    h = mixWord(h, static_cast<uint64_t>(k.pe_dim));
+    h = mixWord(h, static_cast<uint64_t>(k.accum_kib));
+    h = mixWord(h, static_cast<uint64_t>(k.spad_kib));
+    return static_cast<size_t>(h);
+}
+
+EvalCache::Key
+EvalCache::makeKey(const Layer &layer, const Mapping &mapping,
+                   const HardwareConfig &hw)
+{
+    Key k;
+    k.layer = {layer.r, layer.s, layer.p, layer.q, layer.c, layer.k,
+               layer.n, layer.stride};
+    k.factors = mapping.factors;
+    k.order = mapping.order;
+    k.pe_dim = hw.pe_dim;
+    k.accum_kib = hw.accum_kib;
+    k.spad_kib = hw.spad_kib;
+    return k;
+}
+
+LayerEval
+EvalCache::eval(const Layer &layer, const Mapping &mapping,
+                const HardwareConfig &hw)
+{
+    if (!enabled_.load(std::memory_order_relaxed))
+        return computeEval(layer, mapping, hw);
+
+    Key key = makeKey(layer, mapping, hw);
+    size_t h = KeyHash{}(key);
+    Shard &shard = shards_[h & (kNumShards - 1)];
+
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+
+    // Compute outside the lock; a concurrent duplicate costs one
+    // redundant (deterministic) evaluation, never a wrong result.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    LayerEval ev = computeEval(layer, mapping, hw);
+
+    std::lock_guard<std::mutex> lock(shard.mtx);
+    if (shard.map.size() >= kMaxEntriesPerShard) {
+        shard.map.clear();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.map.emplace(std::move(key), ev);
+    return ev;
+}
+
+void
+EvalCache::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        shard.map.clear();
+    }
+}
+
+CacheStats
+EvalCache::stats() const
+{
+    CacheStats s;
+    s.hits = hits_.load();
+    s.misses = misses_.load();
+    s.evictions = evictions_.load();
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(
+                const_cast<Shard &>(shard).mtx);
+        s.entries += shard.map.size();
+    }
+    return s;
+}
+
+void
+EvalCache::resetStats()
+{
+    hits_.store(0);
+    misses_.store(0);
+    evictions_.store(0);
+}
+
+EvalCache &
+globalEvalCache()
+{
+    static EvalCache cache;
+    return cache;
+}
+
+LayerEval
+cachedEval(const Layer &layer, const Mapping &mapping,
+           const HardwareConfig &hw)
+{
+    return globalEvalCache().eval(layer, mapping, hw);
+}
+
+} // namespace dosa

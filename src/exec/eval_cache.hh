@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Sharded, mutex-striped memoization of reference-model evaluations.
+ *
+ * Every searcher hammers referenceEval with near-identical
+ * (layer, mapping, hardware) triples — DOSA rounding revisits the same
+ * divisor-grid points across segments, random search and BB-BO
+ * redraw duplicate mappings, and ordering selection rescoring repeats
+ * whole designs. The cache memoizes the scoring-relevant slice of
+ * RefEval keyed on the functional fields of the triple, striped over
+ * independently locked shards so parallel searchers (src/exec
+ * ThreadPool) scale without contending on one mutex.
+ *
+ * Keys compare full field-by-field (the hash only picks the shard and
+ * bucket), so a hit is always exact and cached results are
+ * bit-identical to a direct referenceEval — caching never changes any
+ * search outcome, it only removes repeated work.
+ */
+
+#ifndef DOSA_EXEC_EVAL_CACHE_HH
+#define DOSA_EXEC_EVAL_CACHE_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "arch/hardware_config.hh"
+#include "mapping/mapping.hh"
+#include "stats/stats.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/**
+ * The slice of RefEval the searchers consume. Kept small (32 B) so
+ * cache entries stay compact; callers needing full access breakdowns
+ * (Fig. 4 model-error studies) use referenceEval directly.
+ */
+struct LayerEval
+{
+    double latency = 0.0;   ///< cycles
+    double energy_uj = 0.0; ///< microjoules
+    double edp = 0.0;       ///< per-layer uJ * cycles
+    bool fits = true;       ///< capacity/PE feasibility
+};
+
+/** Memoizing front-end to referenceEval. Thread-safe. */
+class EvalCache
+{
+  public:
+    /** Shard count; a power of two so the hash maps by mask. */
+    static constexpr size_t kNumShards = 16;
+
+    /**
+     * Per-shard entry bound. A shard that grows past this is reset
+     * (counted as an eviction): full LRU bookkeeping costs more than
+     * re-evaluating the handful of entries a reset throws away.
+     */
+    static constexpr size_t kMaxEntriesPerShard = 1 << 15;
+
+    /**
+     * Evaluate layer/mapping/hw through the cache. Disabled caches
+     * delegate straight to referenceEval and count nothing.
+     */
+    LayerEval eval(const Layer &layer, const Mapping &mapping,
+                   const HardwareConfig &hw);
+
+    /** Drop every entry (counters survive; clears are not evictions). */
+    void clear();
+
+    /** Enable or disable memoization (enabled by default). */
+    void setEnabled(bool enabled) { enabled_.store(enabled); }
+    bool enabled() const { return enabled_.load(); }
+
+    /** Snapshot of hit/miss/eviction/size counters. */
+    CacheStats stats() const;
+
+    /** Reset the stats counters to zero (entries stay cached). */
+    void resetStats();
+
+  private:
+    /** Functional fields of an evaluation triple (name/count omitted). */
+    struct Key
+    {
+        std::array<int64_t, 8> layer; ///< r,s,p,q,c,k,n,stride
+        Factors<int64_t> factors;
+        OrderVec order;
+        int64_t pe_dim;
+        int64_t accum_kib;
+        int64_t spad_kib;
+
+        bool operator==(const Key &o) const = default;
+    };
+
+    struct KeyHash
+    {
+        size_t operator()(const Key &k) const;
+    };
+
+    struct Shard
+    {
+        std::mutex mtx;
+        std::unordered_map<Key, LayerEval, KeyHash> map;
+    };
+
+    static Key makeKey(const Layer &layer, const Mapping &mapping,
+                       const HardwareConfig &hw);
+
+    std::array<Shard, kNumShards> shards_;
+    std::atomic<bool> enabled_{true};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
+};
+
+/**
+ * The process-wide evaluation cache every searcher consults through
+ * cachedEval. Benches toggle it via --no-cache.
+ */
+EvalCache &globalEvalCache();
+
+/** Evaluate through the global cache. */
+LayerEval cachedEval(const Layer &layer, const Mapping &mapping,
+                     const HardwareConfig &hw);
+
+} // namespace dosa
+
+#endif // DOSA_EXEC_EVAL_CACHE_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fork-join worker pool: dynamic index claiming, first-exception
+ * propagation, safe teardown via shared job ownership.
+ */
+#include "exec/thread_pool.hh"
+
+#include <atomic>
+
+namespace dosa {
+
+struct ThreadPool::Job
+{
+    size_t n = 0;
+    const std::function<void(size_t)> *fn = nullptr;
+    /** Next unclaimed index. */
+    std::atomic<size_t> next{0};
+    /** Indices claimed and finished (ran or skipped after an error). */
+    std::atomic<size_t> processed{0};
+    std::atomic<bool> has_error{false};
+    std::mutex err_mtx;
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = threads < 1 ? 1 : threads;
+    workers_.reserve(static_cast<size_t>(n - 1));
+    for (int i = 0; i < n - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stop_ = true;
+    }
+    cv_job_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void
+ThreadPool::runJob(Job &job)
+{
+    size_t i;
+    while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           job.n) {
+        // After a failure the remaining indices are claimed and
+        // skipped so the join completes promptly.
+        if (!job.has_error.load(std::memory_order_relaxed)) {
+            try {
+                (*job.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.err_mtx);
+                if (!job.error)
+                    job.error = std::current_exception();
+                job.has_error.store(true, std::memory_order_relaxed);
+            }
+        }
+        if (job.processed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.n) {
+            std::lock_guard<std::mutex> lock(mtx_);
+            cv_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx_);
+            cv_job_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        if (job)
+            runJob(*job);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submit_mtx_);
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        job_ = job;
+        ++generation_;
+    }
+    cv_job_.notify_all();
+
+    runJob(*job);
+
+    {
+        std::unique_lock<std::mutex> lock(mtx_);
+        cv_done_.wait(lock, [&] {
+            return job->processed.load(std::memory_order_acquire) ==
+                   job->n;
+        });
+        job_.reset();
+    }
+    // Stragglers may still hold their shared_ptr copy, but every index
+    // has finished: only the claim counter is touched after this point.
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace dosa

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared parallel-execution runtime for searchers and benches.
+ *
+ * A fixed-size worker pool exposing a blocking parallelFor/parallelMap
+ * API. Determinism contract: the pool never owns randomness — callers
+ * derive one independent Rng stream per task index (Rng::stream) before
+ * dispatch, so results are bit-identical for any thread count,
+ * including 1. A pool of size 1 runs every task inline on the calling
+ * thread with zero synchronization overhead.
+ *
+ * The pool executes one parallelFor at a time (calls from several
+ * threads serialize internally); tasks must not call back into the
+ * pool that is running them.
+ */
+
+#ifndef DOSA_EXEC_THREAD_POOL_HH
+#define DOSA_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dosa {
+
+/** Fixed-size worker pool with a blocking fork-join API. */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool running tasks on `threads` threads (clamped to
+     * >= 1). `threads == 1` spawns no workers: parallelFor degenerates
+     * to an inline loop, which is the serial reference behaviour every
+     * parallel caller must reproduce bit-for-bit.
+     */
+    explicit ThreadPool(int threads);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Number of threads that execute tasks (workers + caller). */
+    int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int hardwareConcurrency();
+
+    /**
+     * Run fn(0) .. fn(n-1), dynamically load-balanced across the pool;
+     * the calling thread participates. Blocks until every index has
+     * completed. If any task throws, the first exception (in
+     * completion order) is rethrown here after all indices finish or
+     * are skipped.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * parallelFor collecting fn(i) into a vector (element type must be
+     * default-constructible). Results land at their own index, so the
+     * output is independent of execution order.
+     */
+    template <class F>
+    auto
+    parallelMap(size_t n, F &&fn) -> std::vector<decltype(fn(size_t(0)))>
+    {
+        std::vector<decltype(fn(size_t(0)))> out(n);
+        parallelFor(n, [&](size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** One fork-join region; lives on the heap until the last user. */
+    struct Job;
+
+    /** Claim loop shared by workers and the calling thread. */
+    void runJob(Job &job);
+
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mtx_;
+    std::condition_variable cv_job_;
+    std::condition_variable cv_done_;
+    /** Serializes concurrent parallelFor calls. */
+    std::mutex submit_mtx_;
+    std::shared_ptr<Job> job_;
+    uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace dosa
+
+#endif // DOSA_EXEC_THREAD_POOL_HH

@@ -17,30 +17,26 @@ roundToValid(const Factors<double> &factors, const Layer &layer,
     m.order = order;
 
     for (Dim d : kAllDims) {
-        int64_t remaining = layer.size(d);
-
-        // Innermost to outermost: registers temporal, spatial C,
-        // accumulator temporal, spatial K, scratchpad temporal; the
-        // DRAM temporal absorbs whatever is left.
-        auto take = [&](double want, int64_t cap) {
-            int64_t f = cap > 0
-                    ? nearestDivisorAtMost(remaining, want, cap)
-                    : nearestDivisor(remaining, want);
-            remaining /= f;
-            return f;
-        };
+        // One memoized divisor list serves the whole quota chain of
+        // this dimension (DivisorQuota); the chain walks innermost to
+        // outermost: registers temporal, spatial C, accumulator
+        // temporal, spatial K, scratchpad temporal; the DRAM temporal
+        // absorbs whatever is left.
+        DivisorQuota quota(layer.size(d));
 
         m.factors.t(kRegisters, d) =
-                take(factors.t(kRegisters, d), 0);
+                quota.take(factors.t(kRegisters, d));
         if (d == Dim::C)
-            m.factors.spatial_c = take(factors.spatial_c, pe_cap);
+            m.factors.spatial_c =
+                    quota.takeAtMost(factors.spatial_c, pe_cap);
         m.factors.t(kAccumulator, d) =
-                take(factors.t(kAccumulator, d), 0);
+                quota.take(factors.t(kAccumulator, d));
         if (d == Dim::K)
-            m.factors.spatial_k = take(factors.spatial_k, pe_cap);
+            m.factors.spatial_k =
+                    quota.takeAtMost(factors.spatial_k, pe_cap);
         m.factors.t(kScratchpad, d) =
-                take(factors.t(kScratchpad, d), 0);
-        m.factors.t(kDram, d) = remaining;
+                quota.take(factors.t(kScratchpad, d));
+        m.factors.t(kDram, d) = quota.remaining();
     }
 
     if (!m.complete(layer) || !m.positive())

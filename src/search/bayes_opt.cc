@@ -7,8 +7,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/eval_cache.hh"
+#include "exec/thread_pool.hh"
 #include "gp/gaussian_process.hh"
-#include "model/reference.hh"
 #include "util/logging.hh"
 
 namespace dosa {
@@ -45,6 +46,7 @@ bayesOptSearch(const std::vector<Layer> &layers, const BayesOptConfig &cfg)
 {
     Rng rng(cfg.seed);
     SearchResult result;
+    ThreadPool pool(cfg.jobs);
     TrainSet train(static_cast<size_t>(cfg.max_train_points));
     GpParams gp_params;
     gp_params.length_scale = 3.0;
@@ -57,7 +59,7 @@ bayesOptSearch(const std::vector<Layer> &layers, const BayesOptConfig &cfg)
                                const std::vector<Mapping> &maps) {
         double e = 0.0, l = 0.0;
         for (size_t li = 0; li < layers.size(); ++li) {
-            RefEval ev = referenceEval(layers[li], maps[li], hw);
+            LayerEval ev = cachedEval(layers[li], maps[li], hw);
             double cnt = static_cast<double>(layers[li].count);
             e += cnt * ev.energy_uj;
             l += cnt * ev.latency;
@@ -85,34 +87,56 @@ bayesOptSearch(const std::vector<Layer> &layers, const BayesOptConfig &cfg)
         } else {
             // Inner loop: per candidate hardware, pick the LCB-best
             // mapping per layer; outer loop: pick the hardware whose
-            // predicted network score is best.
+            // predicted network score is best. Hardware proposals stay
+            // on the main stream (serial, cheap); the expensive
+            // (hardware x layer) pool slices are scored in parallel,
+            // each drawing its map_candidates from its own stream so
+            // any jobs value reproduces the same pool.
+            const size_t n_layers = layers.size();
+            std::vector<HardwareConfig> cand_hws(
+                    static_cast<size_t>(cfg.hw_candidates));
+            for (HardwareConfig &cand : cand_hws)
+                cand = randomHardware(rng);
+
+            struct Slice
+            {
+                double lcb = std::numeric_limits<double>::infinity();
+                Mapping map;
+            };
+            auto slices = pool.parallelMap(
+                    cand_hws.size() * n_layers, [&](size_t t) {
+                size_t hc = t / n_layers;
+                size_t li = t % n_layers;
+                uint64_t sid = (static_cast<uint64_t>(sample) *
+                        cand_hws.size() + hc) * n_layers + li;
+                Rng srng = Rng::stream(cfg.seed, sid);
+                Slice s;
+                for (int mc = 0; mc < cfg.map_candidates; ++mc) {
+                    Mapping m = randomValidMapping(layers[li],
+                            cand_hws[hc], srng, 16);
+                    double v = gp.lcb(encodeFeatures(layers[li], m,
+                            cand_hws[hc]), cfg.lcb_kappa);
+                    if (v < s.lcb) {
+                        s.lcb = v;
+                        s.map = std::move(m);
+                    }
+                }
+                return s;
+            });
+
             double best_score =
                     std::numeric_limits<double>::infinity();
-            for (int hc = 0; hc < cfg.hw_candidates; ++hc) {
-                HardwareConfig cand_hw = randomHardware(rng);
-                std::vector<Mapping> cand_maps(layers.size());
+            for (size_t hc = 0; hc < cand_hws.size(); ++hc) {
+                // Sum of per-layer log-EDP LCBs scores the design.
                 double score = 0.0;
-                for (size_t li = 0; li < layers.size(); ++li) {
-                    double best_lcb =
-                            std::numeric_limits<double>::infinity();
-                    for (int mc = 0; mc < cfg.map_candidates; ++mc) {
-                        Mapping m = randomValidMapping(layers[li],
-                                cand_hw, rng, 16);
-                        double v = gp.lcb(encodeFeatures(layers[li], m,
-                                cand_hw), cfg.lcb_kappa);
-                        if (v < best_lcb) {
-                            best_lcb = v;
-                            cand_maps[li] = m;
-                        }
-                    }
-                    // Sum of per-layer log-EDP LCBs scores the design.
-                    score += best_lcb *
+                for (size_t li = 0; li < n_layers; ++li)
+                    score += slices[hc * n_layers + li].lcb *
                             static_cast<double>(layers[li].count);
-                }
                 if (score < best_score) {
                     best_score = score;
-                    hw = cand_hw;
-                    maps = std::move(cand_maps);
+                    hw = cand_hws[hc];
+                    for (size_t li = 0; li < n_layers; ++li)
+                        maps[li] = slices[hc * n_layers + li].map;
                 }
             }
         }

@@ -30,6 +30,12 @@ struct BayesOptConfig
     int max_train_points = 600;  ///< GP training-set cap (O(n^3) fit)
     double lcb_kappa = 1.0;
     uint64_t seed = 1;
+    /**
+     * Worker threads scoring the per-round candidate pool (each
+     * (hardware, layer) pool slice draws from its own RNG stream).
+     * Results are bit-identical for any value.
+     */
+    int jobs = 1;
 };
 
 /** Run BO co-search over the unique layers of a network. */

@@ -1,44 +1,174 @@
 /**
  * @file
  * Random-search co-design baseline and the fixed-hardware random mapper.
+ *
+ * Parallel structure: randomness is split into one independent stream
+ * per unit of work (per hardware design for the co-search, per sample
+ * for the fixed-hardware mapper) before dispatch, so any jobs value
+ * reproduces the same samples; reductions then run serially in work
+ * order, keeping traces byte-identical to the jobs=1 path.
  */
 #include "search/random_search.hh"
 
+#include <algorithm>
+
+#include "exec/thread_pool.hh"
 #include "model/reference.hh"
 #include "util/logging.hh"
 
 namespace dosa {
 
+namespace {
+
+/** Per-hardware-design outcome of the random co-search. */
+struct HwOutcome
+{
+    HardwareConfig hw;
+    /** Network EDP after each sample (incumbent per-layer mappings). */
+    std::vector<double> sample_edp;
+    std::vector<Mapping> best;
+    double best_edp = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Sample `samples` random mappings per layer on one hardware design,
+ * tracking the incumbent best mapping per layer by per-layer EDP.
+ */
+HwOutcome
+sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
+               int samples, Rng rng)
+{
+    HwOutcome out;
+    out.hw = hw;
+    out.sample_edp.reserve(static_cast<size_t>(samples));
+    std::vector<Mapping> incumbent(layers.size());
+    std::vector<double> best_layer_edp(layers.size(),
+            std::numeric_limits<double>::infinity());
+    std::vector<double> best_energy(layers.size(), 0.0);
+    std::vector<double> best_latency(layers.size(), 0.0);
+
+    for (int s = 0; s < samples; ++s) {
+        // One sample: a fresh mapping per layer.
+        for (size_t li = 0; li < layers.size(); ++li) {
+            Mapping m = randomValidMapping(layers[li], hw, rng);
+            // Fresh random mappings are almost always unique; scoring
+            // them through the EvalCache would only pollute it (see
+            // randomValidMapping), so evaluate directly.
+            RefEval ev = referenceEval(layers[li], m, hw);
+            double layer_edp = ev.energy_uj * ev.latency;
+            if (layer_edp < best_layer_edp[li]) {
+                best_layer_edp[li] = layer_edp;
+                incumbent[li] = m;
+                best_energy[li] = ev.energy_uj;
+                best_latency[li] = ev.latency;
+            }
+        }
+        // Network EDP with the incumbent per-layer mappings. Not
+        // monotone (a per-layer EDP win can trade energy against
+        // latency), so the best design is snapshotted at the minimum.
+        double e = 0.0, l = 0.0;
+        for (size_t li = 0; li < layers.size(); ++li) {
+            double cnt = static_cast<double>(layers[li].count);
+            e += cnt * best_energy[li];
+            l += cnt * best_latency[li];
+        }
+        double edp = e * l;
+        if (edp < out.best_edp) {
+            out.best_edp = edp;
+            out.best = incumbent;
+        }
+        out.sample_edp.push_back(edp);
+    }
+    return out;
+}
+
+} // namespace
+
 SearchResult
 randomSearch(const std::vector<Layer> &layers,
              const RandomSearchConfig &cfg)
 {
-    Rng rng(cfg.seed);
     SearchResult result;
+    ThreadPool pool(cfg.jobs);
 
-    for (int h = 0; h < cfg.hw_designs; ++h) {
+    // Hardware design h draws everything (its own config plus all of
+    // its mapping samples) from stream (seed, h).
+    auto outcomes = pool.parallelMap(
+            static_cast<size_t>(cfg.hw_designs), [&](size_t h) {
+        Rng rng = Rng::stream(cfg.seed, h);
         HardwareConfig hw = randomHardware(rng);
-        // Per-layer best mapping under this hardware.
-        std::vector<Mapping> best(layers.size());
-        std::vector<double> best_layer_edp(layers.size(),
-                std::numeric_limits<double>::infinity());
-        std::vector<double> best_energy(layers.size(), 0.0);
-        std::vector<double> best_latency(layers.size(), 0.0);
+        return sampleHardware(layers, hw, cfg.mappings_per_hw,
+                std::move(rng));
+    });
 
-        for (int s = 0; s < cfg.mappings_per_hw; ++s) {
-            // One sample: a fresh mapping per layer.
+    // Serial merge in design order (trace convention; strict-< best).
+    for (const HwOutcome &o : outcomes) {
+        if (o.best_edp < result.best_edp) {
+            result.best_hw = o.hw;
+            result.best_mappings = o.best;
+        }
+        for (double edp : o.sample_edp)
+            result.record(edp);
+    }
+    return result;
+}
+
+SearchResult
+randomMapperSearch(const std::vector<Layer> &layers,
+                   const HardwareConfig &hw, int samples, uint64_t seed,
+                   int jobs)
+{
+    SearchResult result;
+    ThreadPool pool(jobs);
+
+    /** One sample: a mapping per layer plus its evaluation. */
+    struct Sample
+    {
+        std::vector<Mapping> maps;
+        std::vector<double> edp, energy, latency;
+    };
+
+    // Fan out in fixed-size chunks so the in-flight working set stays
+    // bounded (a --full run is 10k samples; materializing them all
+    // would hold ~100 MB of mappings). Sample s always draws from
+    // stream (seed, s) regardless of its chunk, so chunking does not
+    // affect results.
+    constexpr size_t kChunk = 256;
+    std::vector<Mapping> best(layers.size());
+    std::vector<double> best_layer_edp(layers.size(),
+            std::numeric_limits<double>::infinity());
+    std::vector<double> best_energy(layers.size(), 0.0);
+    std::vector<double> best_latency(layers.size(), 0.0);
+
+    for (size_t chunk = 0; chunk < static_cast<size_t>(samples);
+         chunk += kChunk) {
+        size_t n = std::min(kChunk,
+                static_cast<size_t>(samples) - chunk);
+        auto drawn = pool.parallelMap(n, [&](size_t i) {
+            Rng rng = Rng::stream(seed, chunk + i);
+            Sample out;
+            out.maps.reserve(layers.size());
+            for (const Layer &layer : layers) {
+                Mapping m = randomValidMapping(layer, hw, rng);
+                RefEval ev = referenceEval(layer, m, hw);
+                out.maps.push_back(std::move(m));
+                out.edp.push_back(ev.energy_uj * ev.latency);
+                out.energy.push_back(ev.energy_uj);
+                out.latency.push_back(ev.latency);
+            }
+            return out;
+        });
+
+        // Serial incumbent reduction in sample order.
+        for (Sample &sample : drawn) {
             for (size_t li = 0; li < layers.size(); ++li) {
-                Mapping m = randomValidMapping(layers[li], hw, rng);
-                RefEval ev = referenceEval(layers[li], m, hw);
-                double layer_edp = ev.energy_uj * ev.latency;
-                if (layer_edp < best_layer_edp[li]) {
-                    best_layer_edp[li] = layer_edp;
-                    best[li] = m;
-                    best_energy[li] = ev.energy_uj;
-                    best_latency[li] = ev.latency;
+                if (sample.edp[li] < best_layer_edp[li]) {
+                    best_layer_edp[li] = sample.edp[li];
+                    best[li] = std::move(sample.maps[li]);
+                    best_energy[li] = sample.energy[li];
+                    best_latency[li] = sample.latency[li];
                 }
             }
-            // Network EDP with the incumbent per-layer mappings.
             double e = 0.0, l = 0.0;
             for (size_t li = 0; li < layers.size(); ++li) {
                 double cnt = static_cast<double>(layers[li].count);
@@ -52,46 +182,6 @@ randomSearch(const std::vector<Layer> &layers,
             }
             result.record(edp);
         }
-    }
-    return result;
-}
-
-SearchResult
-randomMapperSearch(const std::vector<Layer> &layers,
-                   const HardwareConfig &hw, int samples, uint64_t seed)
-{
-    Rng rng(seed);
-    SearchResult result;
-    std::vector<Mapping> best(layers.size());
-    std::vector<double> best_layer_edp(layers.size(),
-            std::numeric_limits<double>::infinity());
-    std::vector<double> best_energy(layers.size(), 0.0);
-    std::vector<double> best_latency(layers.size(), 0.0);
-
-    for (int s = 0; s < samples; ++s) {
-        for (size_t li = 0; li < layers.size(); ++li) {
-            Mapping m = randomValidMapping(layers[li], hw, rng);
-            RefEval ev = referenceEval(layers[li], m, hw);
-            double layer_edp = ev.energy_uj * ev.latency;
-            if (layer_edp < best_layer_edp[li]) {
-                best_layer_edp[li] = layer_edp;
-                best[li] = m;
-                best_energy[li] = ev.energy_uj;
-                best_latency[li] = ev.latency;
-            }
-        }
-        double e = 0.0, l = 0.0;
-        for (size_t li = 0; li < layers.size(); ++li) {
-            double cnt = static_cast<double>(layers[li].count);
-            e += cnt * best_energy[li];
-            l += cnt * best_latency[li];
-        }
-        double edp = e * l;
-        if (edp < result.best_edp) {
-            result.best_hw = hw;
-            result.best_mappings = best;
-        }
-        result.record(edp);
     }
     return result;
 }

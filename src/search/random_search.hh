@@ -23,6 +23,12 @@ struct RandomSearchConfig
     int hw_designs = 10;        ///< hardware points to sample
     int mappings_per_hw = 1000; ///< mapping samples per hardware point
     uint64_t seed = 1;
+    /**
+     * Worker threads fanning out over hardware design points (each
+     * design draws from its own RNG stream). Results are bit-identical
+     * for any value.
+     */
+    int jobs = 1;
 };
 
 /**
@@ -35,11 +41,12 @@ SearchResult randomSearch(const std::vector<Layer> &layers,
 /**
  * Fixed-hardware mapping search: `samples` random valid mappings per
  * layer; returns the best mapping per layer by per-layer EDP, plus the
- * resulting network EDP.
+ * resulting network EDP. Each sample draws from its own RNG stream, so
+ * results are bit-identical for any `jobs` value.
  */
 SearchResult randomMapperSearch(const std::vector<Layer> &layers,
                                 const HardwareConfig &hw, int samples,
-                                uint64_t seed);
+                                uint64_t seed, int jobs = 1);
 
 } // namespace dosa
 

@@ -6,11 +6,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "util/logging.hh"
 
 namespace dosa {
+
+double
+CacheStats::hitRate() const
+{
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+std::string
+CacheStats::str() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+            "hits=%llu misses=%llu rate=%.1f%% entries=%zu "
+            "evictions=%llu",
+            static_cast<unsigned long long>(hits),
+            static_cast<unsigned long long>(misses), 100.0 * hitRate(),
+            entries, static_cast<unsigned long long>(evictions));
+    return buf;
+}
 
 double
 mean(const std::vector<double> &v)

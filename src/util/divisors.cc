@@ -5,6 +5,7 @@
 #include "util/divisors.hh"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <mutex>
 #include <unordered_map>
@@ -31,6 +32,41 @@ computeDivisors(int64_t n)
     return lo;
 }
 
+/**
+ * Mutex-striped divisor memo, mirroring the EvalCache (src/exec)
+ * sharding so parallel searchers rounding mappings concurrently do
+ * not contend on one lock. References handed out stay valid forever:
+ * unordered_map never invalidates element references and entries are
+ * never erased.
+ */
+struct DivisorMemo
+{
+    static constexpr size_t kNumShards = 16;
+
+    struct Shard
+    {
+        std::mutex mtx;
+        std::unordered_map<int64_t, std::vector<int64_t>> map;
+    };
+
+    std::array<Shard, kNumShards> shards;
+
+    const std::vector<int64_t> &
+    get(int64_t n)
+    {
+        // Mix before masking: raw low bits would send the
+        // power-of-two / multiple-of-16 sizes that dominate DNN
+        // layers all to one shard.
+        uint64_t h = static_cast<uint64_t>(n) * 0xbf58476d1ce4e5b9ull;
+        Shard &shard = shards[(h >> 32) & (kNumShards - 1)];
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        auto it = shard.map.find(n);
+        if (it == shard.map.end())
+            it = shard.map.emplace(n, computeDivisors(n)).first;
+        return it->second;
+    }
+};
+
 } // namespace
 
 const std::vector<int64_t> &
@@ -38,13 +74,8 @@ divisorsOf(int64_t n)
 {
     if (n < 1)
         panic("divisorsOf: n must be >= 1");
-    static std::mutex mtx;
-    static std::unordered_map<int64_t, std::vector<int64_t>> cache;
-    std::lock_guard<std::mutex> lock(mtx);
-    auto it = cache.find(n);
-    if (it == cache.end())
-        it = cache.emplace(n, computeDivisors(n)).first;
-    return it->second;
+    static DivisorMemo memo;
+    return memo.get(n);
 }
 
 int64_t
@@ -95,6 +126,51 @@ largestDivisorAtMost(int64_t n, int64_t cap)
             break;
         best = d;
     }
+    return best;
+}
+
+DivisorQuota::DivisorQuota(int64_t n)
+    : divs_(&divisorsOf(n)), remaining_(n)
+{
+}
+
+int64_t
+DivisorQuota::take(double target)
+{
+    int64_t best = 1;
+    double best_err = std::abs(target - 1.0);
+    for (int64_t d : *divs_) {
+        if (remaining_ % d != 0)
+            continue;
+        double err = std::abs(target - static_cast<double>(d));
+        if (err < best_err) {
+            best_err = err;
+            best = d;
+        }
+    }
+    remaining_ /= best;
+    return best;
+}
+
+int64_t
+DivisorQuota::takeAtMost(double target, int64_t cap)
+{
+    if (cap < 1)
+        panic("DivisorQuota::takeAtMost: cap must be >= 1");
+    int64_t best = 1;
+    double best_err = std::abs(target - 1.0);
+    for (int64_t d : *divs_) {
+        if (d > cap)
+            break;
+        if (remaining_ % d != 0)
+            continue;
+        double err = std::abs(target - static_cast<double>(d));
+        if (err < best_err) {
+            best_err = err;
+            best = d;
+        }
+    }
+    remaining_ /= best;
     return best;
 }
 

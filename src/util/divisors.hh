@@ -45,6 +45,38 @@ int64_t largestDivisorAtMost(int64_t n, int64_t cap);
  */
 std::vector<int64_t> randomFactorSplit(int64_t n, int parts, Rng &rng);
 
+/**
+ * Divisor-quota chain over one dimension size: rounding walks a chain
+ * remaining -> remaining / f1 -> ... where every intermediate value
+ * divides the original n. Since divisors(remaining) is a subset of
+ * divisors(n), the whole chain is served from the single memoized
+ * divisor list of n, grabbed once at construction — one cache probe
+ * per dimension instead of one (lock + hash lookup) per factor.
+ */
+class DivisorQuota
+{
+  public:
+    /** Start a chain at n (n >= 1). */
+    explicit DivisorQuota(int64_t n);
+
+    /** Quota still to be factored. */
+    int64_t remaining() const { return remaining_; }
+
+    /**
+     * Take the divisor of remaining() nearest to `target` (ties to
+     * the smaller, matching nearestDivisor) and divide it out.
+     */
+    int64_t take(double target);
+
+    /** As take(), restricted to divisors <= cap (cap >= 1). */
+    int64_t takeAtMost(double target, int64_t cap);
+
+  private:
+    /** Memoized divisor list of the original n (never mutated). */
+    const std::vector<int64_t> *divs_;
+    int64_t remaining_;
+};
+
 } // namespace dosa
 
 #endif // DOSA_UTIL_DIVISORS_HH

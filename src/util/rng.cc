@@ -52,4 +52,26 @@ Rng::fork()
     return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ull);
 }
 
+namespace {
+
+/** splitmix64 finalizer: bijective, breaks up seed/stream structure. */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Rng
+Rng::stream(uint64_t seed, uint64_t stream_id)
+{
+    // Two mixing rounds so nearby (seed, stream) pairs land far apart
+    // in the mt19937_64 seed space.
+    return Rng(splitmix64(splitmix64(seed) ^ splitmix64(~stream_id)));
+}
+
 } // namespace dosa

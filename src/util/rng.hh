@@ -68,6 +68,16 @@ class Rng
     /** Derive an independent child generator (for parallel streams). */
     Rng fork();
 
+    /**
+     * Derive the `stream`-th independent generator of a seed family
+     * without consuming any parent state (a pure function of the
+     * pair). Parallel runtimes split one user seed into per-task
+     * streams this way, so task i draws the same sequence regardless
+     * of which thread runs it or in what order — the determinism
+     * contract of ThreadPool (src/exec).
+     */
+    static Rng stream(uint64_t seed, uint64_t stream_id);
+
     /** Access the raw engine (for std:: distributions). */
     std::mt19937_64 &engine() { return engine_; }
 

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the parallel execution runtime (src/exec): ThreadPool
+ * semantics, deterministic RNG stream splitting, EvalCache correctness
+ * under concurrency, and the serial == parallel contract of every
+ * searcher that fans out on the pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/dosa_optimizer.hh"
+#include "exec/eval_cache.hh"
+#include "exec/thread_pool.hh"
+#include "model/reference.hh"
+#include "search/bayes_opt.hh"
+#include "search/random_search.hh"
+#include "search/search_common.hh"
+#include "util/rng.hh"
+#include "workload/model_zoo.hh"
+
+namespace dosa {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 7}) {
+        ThreadPool pool(threads);
+        constexpr size_t kN = 1000;
+        std::vector<std::atomic<int>> hits(kN);
+        pool.parallelFor(kN, [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "i=" << i
+                    << " threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, SizeClampsToOne)
+{
+    ThreadPool pool(-3);
+    EXPECT_EQ(pool.size(), 1);
+    int ran = 0;
+    pool.parallelFor(3, [&](size_t) { ++ran; });
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(ThreadPool, ZeroAndSingleIndexWork)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [&](size_t) { FAIL(); });
+    int ran = 0;
+    pool.parallelFor(1, [&](size_t) { ++ran; });
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, MoreTasksThanThreadsAndViceVersa)
+{
+    ThreadPool pool(8);
+    std::atomic<long> sum{0};
+    pool.parallelFor(3, [&](size_t i) {
+        sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 3);
+    sum = 0;
+    pool.parallelFor(100, [&](size_t i) {
+        sum += static_cast<long>(i);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    ThreadPool pool(4);
+    std::vector<int> out = pool.parallelMap(64,
+            [](size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 64u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.parallelFor(100, [](size_t i) {
+            if (i == 37)
+                throw std::runtime_error("task 37 failed");
+        }), std::runtime_error);
+        // The pool survives a failed job and runs the next one.
+        std::atomic<int> ran{0};
+        pool.parallelFor(10, [&](size_t) { ++ran; });
+        EXPECT_EQ(ran.load(), 10);
+    }
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> ran{0};
+        pool.parallelFor(17, [&](size_t) { ++ran; });
+        ASSERT_EQ(ran.load(), 17);
+    }
+}
+
+TEST(RngStream, PureFunctionOfSeedAndStream)
+{
+    Rng a = Rng::stream(42, 3);
+    Rng b = Rng::stream(42, 3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.engine()(), b.engine()());
+}
+
+TEST(RngStream, StreamsDecorrelate)
+{
+    // Different stream ids (and nearby seeds) give different draws.
+    Rng a = Rng::stream(42, 0);
+    Rng b = Rng::stream(42, 1);
+    Rng c = Rng::stream(43, 0);
+    int eq_ab = 0, eq_ac = 0;
+    for (int i = 0; i < 64; ++i) {
+        uint64_t va = a.engine()();
+        eq_ab += va == b.engine()() ? 1 : 0;
+        eq_ac += va == c.engine()() ? 1 : 0;
+    }
+    EXPECT_EQ(eq_ab, 0);
+    EXPECT_EQ(eq_ac, 0);
+}
+
+TEST(RngStream, DoesNotPerturbParent)
+{
+    Rng parent(7);
+    uint64_t before = parent.engine()();
+    Rng parent2(7);
+    (void)Rng::stream(7, 0);
+    EXPECT_EQ(before, parent2.engine()());
+}
+
+/** A small layer/mapping/hw triple pool for cache tests. */
+std::vector<std::tuple<Layer, Mapping, HardwareConfig>>
+samplePoints(int n, uint64_t seed)
+{
+    std::vector<std::tuple<Layer, Mapping, HardwareConfig>> pts;
+    std::vector<Layer> layers = resnet50().layers;
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const Layer &l = layers[size_t(rng.uniformInt(0,
+                static_cast<int64_t>(layers.size()) - 1))];
+        HardwareConfig hw = randomHardware(rng);
+        Mapping m = randomValidMapping(l, hw, rng, 8);
+        pts.emplace_back(l, m, hw);
+    }
+    return pts;
+}
+
+TEST(EvalCache, MatchesDirectReferenceEval)
+{
+    EvalCache cache;
+    for (const auto &[l, m, hw] : samplePoints(50, 11)) {
+        RefEval direct = referenceEval(l, m, hw);
+        LayerEval cached = cache.eval(l, m, hw);
+        EXPECT_EQ(cached.latency, direct.latency);
+        EXPECT_EQ(cached.energy_uj, direct.energy_uj);
+        EXPECT_EQ(cached.edp, direct.edp);
+        EXPECT_EQ(cached.fits, direct.fits);
+        // Second query must hit and return the identical value.
+        LayerEval again = cache.eval(l, m, hw);
+        EXPECT_EQ(again.latency, cached.latency);
+        EXPECT_EQ(again.energy_uj, cached.energy_uj);
+    }
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 50u);
+    EXPECT_EQ(s.hits, 50u);
+    EXPECT_EQ(s.entries, 50u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+}
+
+TEST(EvalCache, KeyDiscriminatesMappingOrderAndHardware)
+{
+    EvalCache cache;
+    Layer l = Layer::gemm("g", 64, 64, 64);
+    HardwareConfig hw;
+    Mapping m = minimalMapping(l);
+    (void)cache.eval(l, m, hw);
+
+    Mapping m2 = m;
+    m2.order = uniformOrder(LoopOrder::OS);
+    (void)cache.eval(l, m2, hw);
+
+    HardwareConfig hw2 = hw;
+    hw2.spad_kib *= 2;
+    (void)cache.eval(l, m, hw2);
+
+    Layer l2 = l;
+    l2.c *= 2;
+    Mapping m3 = minimalMapping(l2);
+    (void)cache.eval(l2, m3, hw);
+
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.entries, 4u);
+}
+
+TEST(EvalCache, CountIsNotPartOfTheKey)
+{
+    // Repeat counts scale network sums outside referenceEval, so two
+    // layers differing only in count must share one entry.
+    EvalCache cache;
+    Layer l = Layer::gemm("g", 32, 32, 32);
+    Mapping m = minimalMapping(l);
+    HardwareConfig hw;
+    (void)cache.eval(l, m, hw);
+    l.count = 7;
+    l.name = "renamed";
+    (void)cache.eval(l, m, hw);
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(EvalCache, DisabledCacheBypassesAndCountsNothing)
+{
+    EvalCache cache;
+    cache.setEnabled(false);
+    Layer l = Layer::gemm("g", 16, 16, 16);
+    Mapping m = minimalMapping(l);
+    HardwareConfig hw;
+    RefEval direct = referenceEval(l, m, hw);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(cache.eval(l, m, hw).edp, direct.edp);
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses, 0u);
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.0);
+}
+
+TEST(EvalCache, ConcurrentHammerStaysConsistent)
+{
+    // Many threads query a small point set through one cache; every
+    // answer must equal the direct evaluation and the counters must
+    // add up to the query count.
+    EvalCache cache;
+    auto pts = samplePoints(20, 23);
+    std::vector<RefEval> direct;
+    for (const auto &[l, m, hw] : pts)
+        direct.push_back(referenceEval(l, m, hw));
+
+    constexpr size_t kQueries = 2000;
+    ThreadPool pool(8);
+    std::atomic<int> mismatches{0};
+    pool.parallelFor(kQueries, [&](size_t i) {
+        size_t p = i % pts.size();
+        const auto &[l, m, hw] = pts[p];
+        LayerEval ev = cache.eval(l, m, hw);
+        if (ev.latency != direct[p].latency ||
+            ev.energy_uj != direct[p].energy_uj ||
+            ev.fits != direct[p].fits)
+            ++mismatches;
+    });
+    EXPECT_EQ(mismatches.load(), 0);
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses, kQueries);
+    EXPECT_EQ(s.entries, pts.size());
+    // Racing threads may duplicate a first computation, so misses can
+    // exceed the distinct point count but never undershoot it.
+    EXPECT_GE(s.misses, pts.size());
+}
+
+/** Tiny-but-real DOSA config for determinism runs. */
+DosaConfig
+smallDosaConfig(uint64_t seed, int jobs)
+{
+    DosaConfig cfg;
+    cfg.start_points = 3;
+    cfg.steps_per_start = 30;
+    cfg.round_every = 15;
+    cfg.seed = seed;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+TEST(ExecDeterminism, DosaSerialEqualsParallel)
+{
+    std::vector<Layer> layers = {
+        Layer::gemm("a", 128, 64, 256),
+        Layer::conv("b", 3, 16, 32, 64),
+    };
+    DosaResult serial = dosaSearch(layers, smallDosaConfig(5, 1));
+    DosaResult parallel = dosaSearch(layers, smallDosaConfig(5, 4));
+
+    // Byte-identical traces and results, not merely "close".
+    ASSERT_EQ(serial.search.trace.size(), parallel.search.trace.size());
+    for (size_t i = 0; i < serial.search.trace.size(); ++i)
+        EXPECT_EQ(serial.search.trace[i], parallel.search.trace[i])
+                << "sample " << i;
+    EXPECT_EQ(serial.search.best_edp, parallel.search.best_edp);
+    EXPECT_EQ(serial.search.best_hw, parallel.search.best_hw);
+    EXPECT_EQ(serial.best_start_edp, parallel.best_start_edp);
+    EXPECT_EQ(serial.best_start_hw, parallel.best_start_hw);
+    ASSERT_EQ(serial.search.best_mappings.size(),
+            parallel.search.best_mappings.size());
+    for (size_t i = 0; i < serial.search.best_mappings.size(); ++i)
+        EXPECT_EQ(serial.search.best_mappings[i],
+                parallel.search.best_mappings[i]);
+}
+
+TEST(ExecDeterminism, DosaIndependentOfCacheState)
+{
+    std::vector<Layer> layers = {Layer::gemm("a", 64, 64, 64)};
+    globalEvalCache().clear();
+    globalEvalCache().setEnabled(false);
+    DosaResult cold = dosaSearch(layers, smallDosaConfig(9, 1));
+    globalEvalCache().setEnabled(true);
+    DosaResult warm1 = dosaSearch(layers, smallDosaConfig(9, 2));
+    DosaResult warm2 = dosaSearch(layers, smallDosaConfig(9, 2));
+    EXPECT_EQ(cold.search.best_edp, warm1.search.best_edp);
+    EXPECT_EQ(warm1.search.best_edp, warm2.search.best_edp);
+    EXPECT_EQ(cold.search.trace, warm1.search.trace);
+    EXPECT_EQ(warm1.search.trace, warm2.search.trace);
+}
+
+TEST(ExecDeterminism, RandomSearchSerialEqualsParallel)
+{
+    std::vector<Layer> layers = {Layer::gemm("a", 64, 128, 64)};
+    RandomSearchConfig cfg;
+    cfg.hw_designs = 4;
+    cfg.mappings_per_hw = 30;
+    cfg.seed = 3;
+    cfg.jobs = 1;
+    SearchResult serial = randomSearch(layers, cfg);
+    cfg.jobs = 4;
+    SearchResult parallel = randomSearch(layers, cfg);
+    EXPECT_EQ(serial.trace, parallel.trace);
+    EXPECT_EQ(serial.best_edp, parallel.best_edp);
+    EXPECT_EQ(serial.best_hw, parallel.best_hw);
+}
+
+TEST(ExecDeterminism, RandomMapperSerialEqualsParallel)
+{
+    std::vector<Layer> layers = resnet50().layers;
+    layers.resize(3);
+    HardwareConfig hw;
+    SearchResult serial = randomMapperSearch(layers, hw, 40, 17, 1);
+    SearchResult parallel = randomMapperSearch(layers, hw, 40, 17, 5);
+    EXPECT_EQ(serial.trace, parallel.trace);
+    EXPECT_EQ(serial.best_edp, parallel.best_edp);
+    ASSERT_EQ(serial.best_mappings.size(),
+            parallel.best_mappings.size());
+    for (size_t i = 0; i < serial.best_mappings.size(); ++i)
+        EXPECT_EQ(serial.best_mappings[i], parallel.best_mappings[i]);
+}
+
+TEST(ExecDeterminism, BayesOptSerialEqualsParallel)
+{
+    std::vector<Layer> layers = {Layer::gemm("a", 64, 64, 128)};
+    BayesOptConfig cfg;
+    cfg.warmup_samples = 6;
+    cfg.total_samples = 14;
+    cfg.hw_candidates = 3;
+    cfg.map_candidates = 4;
+    cfg.seed = 21;
+    cfg.jobs = 1;
+    SearchResult serial = bayesOptSearch(layers, cfg);
+    cfg.jobs = 4;
+    SearchResult parallel = bayesOptSearch(layers, cfg);
+    EXPECT_EQ(serial.trace, parallel.trace);
+    EXPECT_EQ(serial.best_edp, parallel.best_edp);
+    EXPECT_EQ(serial.best_hw, parallel.best_hw);
+}
+
+} // namespace
+} // namespace dosa

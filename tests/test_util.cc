@@ -169,6 +169,44 @@ INSTANTIATE_TEST_SUITE_P(Sizes, DivisorProperty,
         ::testing::Values(1, 2, 3, 7, 12, 56, 64, 96, 100, 112, 224,
                           1000, 1024, 3072, 5124));
 
+TEST(Divisors, QuotaChainMatchesPerCallQueries)
+{
+    // DivisorQuota serves a whole chain from one memoized list; its
+    // takes must equal the per-call nearestDivisor* results on the
+    // running remainder, and the chain must multiply back to n.
+    for (int64_t n : {int64_t(1), int64_t(12), int64_t(56),
+                      int64_t(224), int64_t(3072), int64_t(5124)}) {
+        const double targets[] = {3.0, 2.5, 16.0, 1.0};
+        DivisorQuota quota(n);
+        int64_t remaining = n;
+        int64_t prod = 1;
+        for (double t : targets) {
+            int64_t expect = nearestDivisor(remaining, t);
+            int64_t got = quota.take(t);
+            EXPECT_EQ(got, expect) << "n=" << n << " t=" << t;
+            remaining /= expect;
+            prod *= got;
+        }
+        EXPECT_EQ(quota.remaining(), remaining);
+        EXPECT_EQ(prod * quota.remaining(), n);
+    }
+}
+
+TEST(Divisors, QuotaTakeAtMostMatchesPerCallQueries)
+{
+    for (int64_t n : {int64_t(96), int64_t(1024), int64_t(5124)}) {
+        DivisorQuota quota(n);
+        int64_t remaining = n;
+        for (int64_t cap : {int64_t(4), int64_t(16), int64_t(2)}) {
+            int64_t expect = nearestDivisorAtMost(remaining, 1e9, cap);
+            int64_t got = quota.takeAtMost(1e9, cap);
+            EXPECT_EQ(got, expect) << "n=" << n << " cap=" << cap;
+            remaining /= expect;
+        }
+        EXPECT_EQ(quota.remaining(), remaining);
+    }
+}
+
 TEST(Divisors, RandomFactorSplitMultipliesBack)
 {
     Rng rng(17);
