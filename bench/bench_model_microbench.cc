@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/adam.hh"
 #include "core/objective.hh"
 #include "mapping/rounding.hh"
 #include "model/analytical.hh"
@@ -76,6 +77,61 @@ BM_ObjectiveGradient(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ObjectiveGradient)->Arg(1)->Arg(8)->Arg(24);
+
+/**
+ * Steady-state descent step: arena-engine gradient (tape replay +
+ * reverse sweep into a reused buffer) plus the Adam update. This is
+ * the loop dosaSearch runs thousands of times per start point; the
+ * first iteration builds the graph, every later one replays it.
+ */
+void
+BM_GradientStepReplay(benchmark::State &state)
+{
+    Network net = resnet50();
+    std::vector<Layer> layers(net.layers.begin(),
+            net.layers.begin() + size_t(state.range(0)));
+    std::vector<double> x;
+    std::vector<OrderVec> orders;
+    for (const Layer &l : layers) {
+        auto xl = packMapping(cosaMap(l, kHw));
+        x.insert(x.end(), xl.begin(), xl.end());
+        orders.push_back(uniformOrder(LoopOrder::WS));
+    }
+    ObjectiveMode mode;
+    ObjectiveEngine engine;
+    Adam adam(x.size(), 1e-5);
+    for (auto _ : state) {
+        const ObjectiveEval &ev = engine.eval(layers, x, orders,
+                OrderStrategy::Fixed, mode);
+        adam.step(x, ev.grad);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+BENCHMARK(BM_GradientStepReplay)->Arg(1)->Arg(8)->Arg(24);
+
+/** Softmax-strategy variant of the steady-state descent step. */
+void
+BM_GradientStepReplaySoftmax(benchmark::State &state)
+{
+    Network net = resnet50();
+    std::vector<Layer> layers(net.layers.begin(),
+            net.layers.begin() + 8);
+    std::vector<double> x;
+    for (const Layer &l : layers) {
+        auto xl = packMapping(cosaMap(l, kHw));
+        x.insert(x.end(), xl.begin(), xl.end());
+    }
+    ObjectiveMode mode;
+    ObjectiveEngine engine;
+    Adam adam(x.size(), 1e-5);
+    for (auto _ : state) {
+        const ObjectiveEval &ev = engine.eval(layers, x, {},
+                OrderStrategy::Softmax, mode);
+        adam.step(x, ev.grad);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+BENCHMARK(BM_GradientStepReplaySoftmax);
 
 void
 BM_ObjectiveGradientSoftmax(benchmark::State &state)

@@ -1,8 +1,11 @@
 /**
  * @file
- * Reverse-mode tape: node storage and the backward gradient sweep.
+ * Arena tape: SoA node storage, the fused replay interpreter and the
+ * backward gradient sweep.
  */
 #include "autodiff/tape.hh"
+
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -11,58 +14,196 @@ namespace dosa::ad {
 NodeId
 Tape::addLeaf(double value)
 {
-    nodes_.push_back({kNoParent, kNoParent, 0.0, 0.0});
+    in_.push_back({Op::Leaf, kNoParent, kNoParent});
+    w_.push_back({0.0, 0.0, 0.0});
+    values_.push_back(value);
+    NodeId id = static_cast<NodeId>(values_.size() - 1);
+    leaves_.push_back(id);
+    return id;
+}
+
+NodeId
+Tape::addNode(Op op, NodeId p0, NodeId p1, double aux, double value,
+              double w0, double w1)
+{
+    in_.push_back({op, p0, p1});
+    w_.push_back({aux, w0, w1});
     values_.push_back(value);
     return static_cast<NodeId>(values_.size() - 1);
 }
 
-NodeId
-Tape::addUnary(NodeId parent, double w, double value)
+void
+Tape::replay(std::span<const double> leaf_values)
 {
-    nodes_.push_back({parent, kNoParent, w, 0.0});
-    values_.push_back(value);
-    return static_cast<NodeId>(values_.size() - 1);
+    if (leaf_values.size() != leaves_.size())
+        panic("Tape::replay: leaf count mismatch");
+    const size_t n = values_.size();
+    const NodeIn *in = in_.data();
+    NodeW *w = w_.data();
+    double *v = values_.data();
+    size_t leaf = 0;
+
+    // Every case recomputes value and partials with the exact
+    // expressions Var arithmetic uses at build time, so a replay is
+    // bitwise-identical to a fresh build of the same-shaped graph.
+    for (size_t i = 0; i < n; ++i) {
+        const double a = in[i].p0 >= 0 ? v[size_t(in[i].p0)] : 0.0;
+        const double aux = w[i].aux;
+        switch (in[i].op) {
+          case Op::Leaf:
+            v[i] = leaf_values[leaf++];
+            break;
+          case Op::Neg:
+            v[i] = -a;
+            break;
+          case Op::Add:
+            v[i] = a + v[size_t(in[i].p1)];
+            break;
+          case Op::AddC:
+            v[i] = a + aux;
+            break;
+          case Op::Sub:
+            v[i] = a - v[size_t(in[i].p1)];
+            break;
+          case Op::SubC:
+            v[i] = a - aux;
+            break;
+          case Op::CSub:
+            v[i] = aux - a;
+            break;
+          case Op::Mul: {
+            double b = v[size_t(in[i].p1)];
+            v[i] = a * b;
+            w[i].w0 = b;
+            w[i].w1 = a;
+            break;
+          }
+          case Op::MulC:
+            v[i] = a * aux;
+            break;
+          case Op::Div: {
+            double b = v[size_t(in[i].p1)];
+            v[i] = a / b;
+            w[i].w0 = 1.0 / b;
+            w[i].w1 = -a / (b * b);
+            break;
+          }
+          case Op::DivC:
+            v[i] = a / aux;
+            break;
+          case Op::CDiv:
+            v[i] = aux / a;
+            w[i].w0 = -aux / (a * a);
+            break;
+          case Op::Log:
+            v[i] = std::log(a);
+            w[i].w0 = 1.0 / a;
+            break;
+          case Op::Exp:
+            v[i] = std::exp(a);
+            w[i].w0 = v[i];
+            break;
+          case Op::Sqrt:
+            v[i] = std::sqrt(a);
+            w[i].w0 = 0.5 / v[i];
+            break;
+          case Op::Pow:
+            v[i] = std::pow(a, aux);
+            w[i].w0 = aux * std::pow(a, aux - 1.0);
+            break;
+          case Op::Max: {
+            double b = v[size_t(in[i].p1)];
+            bool first = a >= b;
+            v[i] = first ? a : b;
+            w[i].w0 = first ? 1.0 : 0.0;
+            w[i].w1 = first ? 0.0 : 1.0;
+            break;
+          }
+          case Op::MaxCL: {
+            bool cwins = aux >= a;
+            v[i] = cwins ? aux : a;
+            w[i].w0 = cwins ? 0.0 : 1.0;
+            break;
+          }
+          case Op::MaxCR: {
+            bool pwins = a >= aux;
+            v[i] = pwins ? a : aux;
+            w[i].w0 = pwins ? 1.0 : 0.0;
+            break;
+          }
+          case Op::Min: {
+            double b = v[size_t(in[i].p1)];
+            bool first = a <= b;
+            v[i] = first ? a : b;
+            w[i].w0 = first ? 1.0 : 0.0;
+            w[i].w1 = first ? 0.0 : 1.0;
+            break;
+          }
+          case Op::MinCL: {
+            bool cwins = aux <= a;
+            v[i] = cwins ? aux : a;
+            w[i].w0 = cwins ? 0.0 : 1.0;
+            break;
+          }
+          case Op::MinCR: {
+            bool pwins = a <= aux;
+            v[i] = pwins ? a : aux;
+            w[i].w0 = pwins ? 1.0 : 0.0;
+            break;
+          }
+          case Op::Relu: {
+            bool on = a > 0.0;
+            v[i] = on ? a : 0.0;
+            w[i].w0 = on ? 1.0 : 0.0;
+            break;
+          }
+        }
+    }
 }
 
-NodeId
-Tape::addBinary(NodeId p0, double w0, NodeId p1, double w1, double value)
+void
+Tape::gradientInto(NodeId output, std::vector<double> &adj) const
 {
-    nodes_.push_back({p0, p1, w0, w1});
-    values_.push_back(value);
-    return static_cast<NodeId>(values_.size() - 1);
+    if (output < 0 || static_cast<size_t>(output) >= values_.size())
+        panic("Tape::gradientInto: output id out of range");
+    adj.assign(values_.size(), 0.0);
+    adj[static_cast<size_t>(output)] = 1.0;
+    const NodeIn *in = in_.data();
+    const NodeW *w = w_.data();
+    double *a = adj.data();
+    for (size_t ii = static_cast<size_t>(output) + 1; ii-- > 0;) {
+        double g = a[ii];
+        if (g == 0.0)
+            continue;
+        if (in[ii].p0 != kNoParent)
+            a[size_t(in[ii].p0)] += g * w[ii].w0;
+        if (in[ii].p1 != kNoParent)
+            a[size_t(in[ii].p1)] += g * w[ii].w1;
+    }
 }
 
 std::vector<double>
 Tape::gradient(NodeId output) const
 {
-    if (output < 0 || static_cast<size_t>(output) >= values_.size())
-        panic("Tape::gradient: output id out of range");
-    std::vector<double> adj(values_.size(), 0.0);
-    adj[static_cast<size_t>(output)] = 1.0;
-    for (size_t ii = static_cast<size_t>(output) + 1; ii-- > 0;) {
-        double a = adj[ii];
-        if (a == 0.0)
-            continue;
-        const Node &n = nodes_[ii];
-        if (n.p0 != kNoParent)
-            adj[static_cast<size_t>(n.p0)] += a * n.w0;
-        if (n.p1 != kNoParent)
-            adj[static_cast<size_t>(n.p1)] += a * n.w1;
-    }
+    std::vector<double> adj;
+    gradientInto(output, adj);
     return adj;
 }
 
 void
-Tape::clear()
+Tape::reset()
 {
-    nodes_.clear();
+    in_.clear();
+    w_.clear();
     values_.clear();
+    leaves_.clear();
 }
 
 void
 Tape::reserve(size_t n)
 {
-    nodes_.reserve(n);
+    in_.reserve(n);
+    w_.reserve(n);
     values_.reserve(n);
 }
 

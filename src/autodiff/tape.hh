@@ -1,15 +1,34 @@
 /**
  * @file
- * Reverse-mode automatic differentiation tape.
+ * Reverse-mode automatic differentiation tape with arena reuse.
  *
  * The paper implements its differentiable performance model with PyTorch
  * autograd; this is the equivalent substrate built from scratch. Each
- * arithmetic operation appends a node recording (up to two) parents and
- * the local partial derivatives; a single reverse sweep then yields the
- * gradient of one scalar output with respect to every leaf.
+ * arithmetic operation appends a node recording its operation kind, (up
+ * to two) parents and the local partial derivatives; a single reverse
+ * sweep then yields the gradient of one scalar output with respect to
+ * every leaf.
  *
- * The DOSA objective graph is rebuilt every descent step, so the tape is
- * optimized for append-heavy usage: flat vectors, trivially clearable.
+ * Unlike PyTorch, this engine exploits a DOSA-specific invariant: for a
+ * fixed (layers, orders, strategy, mode) context the objective graph has
+ * an identical *shape* every descent step — only the leaf values change.
+ * The tape therefore supports three lifecycle modes:
+ *
+ *  - build:  append nodes (via Var arithmetic), structure-of-arrays
+ *            storage, `reserve()`d once and reused;
+ *  - replay: `replay(leaf_values)` re-runs the recorded program in one
+ *            fused forward pass, recomputing every node value *and*
+ *            every local partial (data-dependent max/min/relu branches
+ *            re-select from the new values), bitwise-identical to a
+ *            fresh build of the same expression at the new leaves;
+ *  - sweep:  `gradientInto()` reverse-sweeps into a caller-owned
+ *            adjoint buffer, so steady-state descent steps allocate
+ *            nothing.
+ *
+ * `reset()` clears the tape without releasing capacity, making arena
+ * reuse across descent steps free. A Tape is single-owner state: it may
+ * only be touched by one thread at a time (each searcher start point
+ * owns its tape).
  */
 
 #ifndef DOSA_AUTODIFF_TAPE_HH
@@ -17,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace dosa::ad {
@@ -28,10 +48,48 @@ using NodeId = int32_t;
 constexpr NodeId kNoParent = -1;
 
 /**
- * Append-only computation record supporting reverse-mode sweeps.
+ * Node operation kinds. `C` marks an untaped (constant) operand folded
+ * into the node's `aux` slot; `CL`/`CR` distinguish which side the
+ * constant sat on where the semantics differ (tie-breaking of max/min
+ * follows the left operand, matching torch.max). Replay recomputes
+ * value and partials from these kinds with the exact expressions the
+ * Var layer uses at build time.
+ */
+enum class Op : uint8_t
+{
+    Leaf,  ///< value supplied externally (per-step input)
+    Neg,   ///< -p0
+    Add,   ///< p0 + p1
+    AddC,  ///< p0 + aux
+    Sub,   ///< p0 - p1
+    SubC,  ///< p0 - aux
+    CSub,  ///< aux - p0
+    Mul,   ///< p0 * p1
+    MulC,  ///< p0 * aux
+    Div,   ///< p0 / p1
+    DivC,  ///< p0 / aux
+    CDiv,  ///< aux / p0
+    Log,   ///< log(p0)
+    Exp,   ///< exp(p0)
+    Sqrt,  ///< sqrt(p0)
+    Pow,   ///< pow(p0, aux)
+    Max,   ///< max(p0, p1), subgradient to the larger (ties to p0)
+    MaxCL, ///< max(aux, p0), ties to the constant
+    MaxCR, ///< max(p0, aux), ties to p0
+    Min,   ///< min(p0, p1), ties to p0
+    MinCL, ///< min(aux, p0), ties to the constant
+    MinCR, ///< min(p0, aux), ties to p0
+    Relu,  ///< max(p0, 0) with zero gradient at/below 0
+};
+
+/**
+ * Append-only computation record supporting reverse-mode sweeps and
+ * whole-graph replay.
  *
  * Nodes hold at most two parents; n-ary reductions are built from
- * binary chains by the Var operators layered on top.
+ * binary chains by the Var operators layered on top. Storage is
+ * structure-of-arrays: the replay interpreter and the reverse sweep
+ * each stream over exactly the arrays they need.
  */
 class Tape
 {
@@ -39,12 +97,13 @@ class Tape
     /** Add an input (leaf) node with the given value. */
     NodeId addLeaf(double value);
 
-    /** Add a node with one parent and local derivative w. */
-    NodeId addUnary(NodeId parent, double w, double value);
-
-    /** Add a node with two parents and local derivatives w0, w1. */
-    NodeId addBinary(NodeId p0, double w0, NodeId p1, double w1,
-                     double value);
+    /**
+     * Add a computed node. `value`, `w0`, `w1` are the build-time
+     * results; `op` + `aux` let replay recompute them from fresh
+     * parent values.
+     */
+    NodeId addNode(Op op, NodeId p0, NodeId p1, double aux, double value,
+                   double w0, double w1);
 
     /** Value stored at a node. */
     double value(NodeId id) const { return values_[size_t(id)]; }
@@ -52,32 +111,75 @@ class Tape
     /** Number of nodes currently recorded. */
     size_t size() const { return values_.size(); }
 
+    /** Number of leaf nodes recorded, in addLeaf order. */
+    size_t numLeaves() const { return leaves_.size(); }
+
+    /** NodeId of the k-th leaf (in addLeaf order). */
+    NodeId leaf(size_t k) const { return leaves_[k]; }
+
     /**
-     * Reverse sweep from `output`: returns the adjoint (d output / d node)
-     * for every node on the tape. Callers index this by leaf NodeIds.
+     * Fused forward re-valuation: assign `leaf_values` (one per leaf,
+     * in addLeaf order) and re-run the recorded program, recomputing
+     * every node value and local partial in one pass. Requires the
+     * expression shape to be unchanged since the last build; the
+     * result is bitwise-identical to rebuilding the same expression
+     * at the new leaf values.
+     */
+    void replay(std::span<const double> leaf_values);
+
+    /**
+     * Reverse sweep from `output` into a caller-owned adjoint buffer
+     * (resized to size()): adj[n] = d output / d node n. Reusing the
+     * buffer across steps eliminates the per-step allocation.
+     */
+    void gradientInto(NodeId output, std::vector<double> &adj) const;
+
+    /**
+     * Reverse sweep from `output`: returns the adjoint for every node
+     * on the tape. Convenience wrapper over gradientInto.
      */
     std::vector<double> gradient(NodeId output) const;
 
-    /** Drop all nodes; invalidates outstanding NodeIds. */
-    void clear();
+    /**
+     * Drop all nodes without releasing capacity (arena reuse);
+     * invalidates outstanding NodeIds.
+     */
+    void reset();
+
+    /** Alias of reset(), kept for existing callers. */
+    void clear() { reset(); }
 
     /**
      * Reserve capacity for roughly `n` nodes (perf hint for the
-     * per-step graph rebuild).
+     * first graph build).
      */
     void reserve(size_t n);
 
   private:
-    struct Node
+    /** Program word: operation + parents (read-only after build). */
+    struct NodeIn
     {
+        Op op;
         NodeId p0;
         NodeId p1;
+    };
+
+    /** Derivative word: constant operand + local partials. */
+    struct NodeW
+    {
+        double aux;
         double w0;
         double w1;
     };
 
-    std::vector<Node> nodes_;
+    // Structure-of-arrays node storage, split by access phase: the
+    // replay interpreter streams in_/w_/values_, the reverse sweep
+    // streams in_ (parents) and w_ (partials) against the adjoints.
+    std::vector<NodeIn> in_;
+    std::vector<NodeW> w_;
     std::vector<double> values_;
+    /** Leaf NodeIds in insertion order (replay input layout). */
+    std::vector<NodeId> leaves_;
 };
 
 } // namespace dosa::ad

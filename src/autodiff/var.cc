@@ -1,6 +1,14 @@
 /**
  * @file
- * Var arithmetic: each operation records parents and local partials on the tape.
+ * Var arithmetic: each operation records its kind, parents and local partials on the tape.
+ *
+ * Every node carries a typed Op so Tape::replay can recompute values
+ * and partials from new leaf values. For that to be sound the recorded
+ * graph *shape* must not depend on leaf values, so data-dependent
+ * selections (max/min with one constant operand) always record a node
+ * — even when the constant wins — instead of collapsing to a detached
+ * constant. The selected branch is encoded in the partials (weight 0
+ * to the loser), which replay re-derives from the fresh values.
  */
 #include "autodiff/var.hh"
 
@@ -40,7 +48,8 @@ Var::operator-() const
 {
     if (!tape_)
         return Var(-val_);
-    return make(tape_, tape_->addUnary(id_, -1.0, -val_), -val_);
+    return make(tape_, tape_->addNode(Op::Neg, id_, kNoParent, 0.0,
+            -val_, -1.0, 0.0), -val_);
 }
 
 Var
@@ -51,9 +60,12 @@ operator+(const Var &a, const Var &b)
     if (!t)
         return Var(v);
     if (a.id_ != kNoParent && b.id_ != kNoParent)
-        return Var::make(t, t->addBinary(a.id_, 1.0, b.id_, 1.0, v), v);
+        return Var::make(t, t->addNode(Op::Add, a.id_, b.id_, 0.0, v,
+                1.0, 1.0), v);
     NodeId p = a.id_ != kNoParent ? a.id_ : b.id_;
-    return Var::make(t, t->addUnary(p, 1.0, v), v);
+    double c = a.id_ != kNoParent ? b.val_ : a.val_;
+    return Var::make(t, t->addNode(Op::AddC, p, kNoParent, c, v,
+            1.0, 0.0), v);
 }
 
 Var
@@ -64,10 +76,13 @@ operator-(const Var &a, const Var &b)
     if (!t)
         return Var(v);
     if (a.id_ != kNoParent && b.id_ != kNoParent)
-        return Var::make(t, t->addBinary(a.id_, 1.0, b.id_, -1.0, v), v);
+        return Var::make(t, t->addNode(Op::Sub, a.id_, b.id_, 0.0, v,
+                1.0, -1.0), v);
     if (a.id_ != kNoParent)
-        return Var::make(t, t->addUnary(a.id_, 1.0, v), v);
-    return Var::make(t, t->addUnary(b.id_, -1.0, v), v);
+        return Var::make(t, t->addNode(Op::SubC, a.id_, kNoParent,
+                b.val_, v, 1.0, 0.0), v);
+    return Var::make(t, t->addNode(Op::CSub, b.id_, kNoParent, a.val_,
+            v, -1.0, 0.0), v);
 }
 
 Var
@@ -78,11 +93,12 @@ operator*(const Var &a, const Var &b)
     if (!t)
         return Var(v);
     if (a.id_ != kNoParent && b.id_ != kNoParent)
-        return Var::make(t,
-                t->addBinary(a.id_, b.val_, b.id_, a.val_, v), v);
-    if (a.id_ != kNoParent)
-        return Var::make(t, t->addUnary(a.id_, b.val_, v), v);
-    return Var::make(t, t->addUnary(b.id_, a.val_, v), v);
+        return Var::make(t, t->addNode(Op::Mul, a.id_, b.id_, 0.0, v,
+                b.val_, a.val_), v);
+    NodeId p = a.id_ != kNoParent ? a.id_ : b.id_;
+    double c = a.id_ != kNoParent ? b.val_ : a.val_;
+    return Var::make(t, t->addNode(Op::MulC, p, kNoParent, c, v,
+            c, 0.0), v);
 }
 
 Var
@@ -95,10 +111,13 @@ operator/(const Var &a, const Var &b)
     double da = 1.0 / b.val_;
     double db = -a.val_ / (b.val_ * b.val_);
     if (a.id_ != kNoParent && b.id_ != kNoParent)
-        return Var::make(t, t->addBinary(a.id_, da, b.id_, db, v), v);
+        return Var::make(t, t->addNode(Op::Div, a.id_, b.id_, 0.0, v,
+                da, db), v);
     if (a.id_ != kNoParent)
-        return Var::make(t, t->addUnary(a.id_, da, v), v);
-    return Var::make(t, t->addUnary(b.id_, db, v), v);
+        return Var::make(t, t->addNode(Op::DivC, a.id_, kNoParent,
+                b.val_, v, da, 0.0), v);
+    return Var::make(t, t->addNode(Op::CDiv, b.id_, kNoParent, a.val_,
+            v, db, 0.0), v);
 }
 
 Var
@@ -107,8 +126,8 @@ log(const Var &a)
     double v = std::log(a.val_);
     if (!a.tape_)
         return Var(v);
-    return Var::make(a.tape_,
-            a.tape_->addUnary(a.id_, 1.0 / a.val_, v), v);
+    return Var::make(a.tape_, a.tape_->addNode(Op::Log, a.id_,
+            kNoParent, 0.0, v, 1.0 / a.val_, 0.0), v);
 }
 
 Var
@@ -117,7 +136,8 @@ exp(const Var &a)
     double v = std::exp(a.val_);
     if (!a.tape_)
         return Var(v);
-    return Var::make(a.tape_, a.tape_->addUnary(a.id_, v, v), v);
+    return Var::make(a.tape_, a.tape_->addNode(Op::Exp, a.id_,
+            kNoParent, 0.0, v, v, 0.0), v);
 }
 
 Var
@@ -126,8 +146,8 @@ sqrt(const Var &a)
     double v = std::sqrt(a.val_);
     if (!a.tape_)
         return Var(v);
-    return Var::make(a.tape_,
-            a.tape_->addUnary(a.id_, 0.5 / v, v), v);
+    return Var::make(a.tape_, a.tape_->addNode(Op::Sqrt, a.id_,
+            kNoParent, 0.0, v, 0.5 / v, 0.0), v);
 }
 
 Var
@@ -137,7 +157,8 @@ pow(const Var &a, double e)
     if (!a.tape_)
         return Var(v);
     double d = e * std::pow(a.val_, e - 1.0);
-    return Var::make(a.tape_, a.tape_->addUnary(a.id_, d, v), v);
+    return Var::make(a.tape_, a.tape_->addNode(Op::Pow, a.id_,
+            kNoParent, e, v, d, 0.0), v);
 }
 
 Var
@@ -145,36 +166,49 @@ max(const Var &a, const Var &b)
 {
     // Subgradient flows only to the larger operand (ties go to a),
     // matching torch.max backward behaviour closely enough for DSE.
-    const Var &win = a.val_ >= b.val_ ? a : b;
     Tape *t = jointTape(a, b);
-    if (!t || win.id_ == kNoParent)
-        return Var(win.val_);
-    return Var::make(t, t->addUnary(win.id_, 1.0, win.val_), win.val_);
+    bool first = a.val_ >= b.val_;
+    double v = first ? a.val_ : b.val_;
+    if (!t)
+        return Var(v);
+    if (a.id_ != kNoParent && b.id_ != kNoParent)
+        return Var::make(t, t->addNode(Op::Max, a.id_, b.id_, 0.0, v,
+                first ? 1.0 : 0.0, first ? 0.0 : 1.0), v);
+    if (a.id_ == kNoParent)
+        return Var::make(t, t->addNode(Op::MaxCL, b.id_, kNoParent,
+                a.val_, v, first ? 0.0 : 1.0, 0.0), v);
+    return Var::make(t, t->addNode(Op::MaxCR, a.id_, kNoParent, b.val_,
+            v, first ? 1.0 : 0.0, 0.0), v);
 }
 
 Var
 min(const Var &a, const Var &b)
 {
-    const Var &win = a.val_ <= b.val_ ? a : b;
     Tape *t = jointTape(a, b);
-    if (!t || win.id_ == kNoParent)
-        return Var(win.val_);
-    return Var::make(t, t->addUnary(win.id_, 1.0, win.val_), win.val_);
+    bool first = a.val_ <= b.val_;
+    double v = first ? a.val_ : b.val_;
+    if (!t)
+        return Var(v);
+    if (a.id_ != kNoParent && b.id_ != kNoParent)
+        return Var::make(t, t->addNode(Op::Min, a.id_, b.id_, 0.0, v,
+                first ? 1.0 : 0.0, first ? 0.0 : 1.0), v);
+    if (a.id_ == kNoParent)
+        return Var::make(t, t->addNode(Op::MinCL, b.id_, kNoParent,
+                a.val_, v, first ? 0.0 : 1.0, 0.0), v);
+    return Var::make(t, t->addNode(Op::MinCR, a.id_, kNoParent, b.val_,
+            v, first ? 1.0 : 0.0, 0.0), v);
 }
 
 Var
 relu(const Var &a)
 {
-    if (a.val_ <= 0.0) {
-        // Hard zero with no gradient, as in torch.relu at/below 0.
-        if (!a.tape_)
-            return Var(0.0);
-        return Var::make(a.tape_, a.tape_->addUnary(a.id_, 0.0, 0.0), 0.0);
-    }
+    // Hard zero with no gradient at/below 0, as in torch.relu.
+    bool on = a.val_ > 0.0;
+    double v = on ? a.val_ : 0.0;
     if (!a.tape_)
-        return Var(a.val_);
-    return Var::make(a.tape_,
-            a.tape_->addUnary(a.id_, 1.0, a.val_), a.val_);
+        return Var(v);
+    return Var::make(a.tape_, a.tape_->addNode(Op::Relu, a.id_,
+            kNoParent, 0.0, v, on ? 1.0 : 0.0, 0.0), v);
 }
 
 Var
@@ -191,15 +225,17 @@ softmax(const std::vector<Var> &xs)
 {
     if (xs.empty())
         return {};
-    // Standard max-shift for numerical stability; the shift is treated
-    // as a constant (its gradient contribution cancels analytically).
-    double shift = xs[0].value();
+    // Standard max-shift for numerical stability. The shift is kept
+    // on the tape (its gradient contribution cancels analytically) so
+    // the graph shape — and hence a Tape::replay — stays valid when
+    // the argmax moves between descent steps.
+    Var shift = xs[0];
     for (const Var &x : xs)
-        shift = std::max(shift, x.value());
+        shift = max(shift, x);
     std::vector<Var> es;
     es.reserve(xs.size());
     for (const Var &x : xs)
-        es.push_back(exp(x - Var(shift)));
+        es.push_back(exp(x - shift));
     Var denom = sum(es);
     std::vector<Var> out;
     out.reserve(xs.size());

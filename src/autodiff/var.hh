@@ -7,6 +7,14 @@
  * instantiated for plain double (fast evaluation) or Var (gradient
  * descent). Mixing Vars from different tapes is a programming error and
  * panics.
+ *
+ * Shape invariance: the sequence of nodes an expression records
+ * depends only on which operands are taped, never on their values —
+ * data-dependent selections (max/min/relu, the softmax shift) encode
+ * the chosen branch in the node's partials, not in the graph
+ * structure. This is what makes Tape::replay sound: the recorded
+ * program at new leaf values is exactly what a fresh build would
+ * record.
  */
 
 #ifndef DOSA_AUTODIFF_VAR_HH

@@ -17,7 +17,7 @@ Adam::Adam(size_t dim, double lr, double beta1, double beta2, double eps)
 }
 
 void
-Adam::step(std::vector<double> &params, const std::vector<double> &grad,
+Adam::step(std::vector<double> &params, std::span<const double> grad,
            double lr_scale)
 {
     if (params.size() != m_.size() || grad.size() != m_.size())

@@ -8,6 +8,7 @@
 #define DOSA_CORE_ADAM_HH
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace dosa {
@@ -21,11 +22,21 @@ class Adam
          double beta2 = 0.999, double eps = 1e-8);
 
     /**
-     * Apply one descent step in place; sizes must match dim.
+     * Apply one descent step in place; sizes must match dim. The
+     * gradient is read through a span so callers (e.g. the arena
+     * ObjectiveEngine) can pass reused buffers without copies.
      * @param lr_scale multiplies the base learning rate (schedules).
      */
-    void step(std::vector<double> &params,
-              const std::vector<double> &grad, double lr_scale = 1.0);
+    void step(std::vector<double> &params, std::span<const double> grad,
+              double lr_scale = 1.0);
+
+    /** Vector-gradient convenience overload. */
+    void
+    step(std::vector<double> &params, const std::vector<double> &grad,
+         double lr_scale = 1.0)
+    {
+        step(params, std::span<const double>(grad), lr_scale);
+    }
 
     /** Reset moments (used after rounding projections). */
     void reset();

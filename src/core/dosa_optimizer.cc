@@ -113,11 +113,21 @@ scoreDesign(const std::vector<Layer> &layers,
             const std::vector<Mapping> &mappings,
             const HardwareConfig &hw, const LatencyScorer &scorer)
 {
+    const size_t n = layers.size();
+    // Latency goes through the batched seam so amortizing backends
+    // see the whole network at once; energy always comes from the
+    // (cached) reference model.
+    std::vector<double> lats(n, 0.0);
+    if (scorer) {
+        std::vector<LatencyQuery> queries(n);
+        for (size_t li = 0; li < n; ++li)
+            queries[li] = {&layers[li], &mappings[li], &hw};
+        scorer.scoreDesigns(queries, lats);
+    }
     NetworkEval out;
-    for (size_t li = 0; li < layers.size(); ++li) {
+    for (size_t li = 0; li < n; ++li) {
         LayerEval ev = cachedEval(layers[li], mappings[li], hw);
-        double lat = scorer ? scorer(layers[li], mappings[li], hw)
-                            : ev.latency;
+        double lat = scorer ? lats[li] : ev.latency;
         double cnt = static_cast<double>(layers[li].count);
         out.energy_uj += cnt * ev.energy_uj;
         out.latency += cnt * lat;
@@ -134,14 +144,32 @@ selectOrders(const std::vector<Layer> &layers,
 {
     const size_t n = layers.size();
     // Per-layer (energy, latency) for each of the 3 uniform orderings.
+    // The 3n re-ordered variants are materialized up front so custom
+    // scorers see them as one scoreDesigns batch.
+    std::vector<Mapping> variants(n * size_t(kNumOrders));
+    for (size_t li = 0; li < n; ++li) {
+        for (int o = 0; o < kNumOrders; ++o) {
+            Mapping &m = variants[li * size_t(kNumOrders) + size_t(o)];
+            m = mappings[li];
+            m.order = uniformOrder(static_cast<LoopOrder>(o));
+        }
+    }
+    std::vector<double> lats(variants.size(), 0.0);
+    if (scorer) {
+        std::vector<LatencyQuery> queries(variants.size());
+        for (size_t li = 0; li < n; ++li)
+            for (int o = 0; o < kNumOrders; ++o) {
+                size_t i = li * size_t(kNumOrders) + size_t(o);
+                queries[i] = {&layers[li], &variants[i], &hw};
+            }
+        scorer.scoreDesigns(queries, lats);
+    }
     std::vector<std::array<double, kNumOrders>> energy(n), latency(n);
     for (size_t li = 0; li < n; ++li) {
         for (int o = 0; o < kNumOrders; ++o) {
-            Mapping m = mappings[li];
-            m.order = uniformOrder(static_cast<LoopOrder>(o));
-            LayerEval ev = cachedEval(layers[li], m, hw);
-            double lat = scorer ? scorer(layers[li], m, hw)
-                                : ev.latency;
+            size_t i = li * size_t(kNumOrders) + size_t(o);
+            LayerEval ev = cachedEval(layers[li], variants[i], hw);
+            double lat = scorer ? lats[i] : ev.latency;
             double cnt = static_cast<double>(layers[li].count);
             energy[li][size_t(o)] = cnt * ev.energy_uj;
             latency[li][size_t(o)] = cnt * lat;
@@ -258,10 +286,16 @@ struct StartOutcome
     HardwareConfig start_hw;
 };
 
-/** Generate one start attempt, drawing from the start's own stream. */
+/**
+ * Generate one start attempt, drawing from the start's own stream.
+ * `engine` is the caller's arena evaluator: every attempt shares the
+ * same objective shape, so attempts after the first replay instead of
+ * rebuilding the graph.
+ */
 StartCandidate
 makeStartCandidate(const std::vector<Layer> &layers,
-                   const DosaConfig &cfg, Rng &rng)
+                   const DosaConfig &cfg, Rng &rng,
+                   ObjectiveEngine &engine)
 {
     StartCandidate c;
     c.orders.assign(layers.size(), uniformOrder(LoopOrder::WS));
@@ -290,7 +324,7 @@ makeStartCandidate(const std::vector<Layer> &layers,
         std::vector<double> xl = packMapping(m);
         c.x.insert(c.x.end(), xl.begin(), xl.end());
     }
-    ObjectiveEval ev = evalObjective(layers, c.x, c.orders,
+    const ObjectiveEval &ev = engine.eval(layers, c.x, c.orders,
             OrderStrategy::Fixed, cfg.mode);
     c.model_edp = ev.edp;
     return c;
@@ -336,8 +370,12 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
     std::vector<double> start_best_x = x;
     std::vector<OrderVec> start_best_orders = orders;
     Adam adam(x.size(), cfg.lr);
+    // Arena-reused objective evaluator: within a rounding segment the
+    // context (orders, mode, strategy) is fixed, so every step after
+    // the first is a fused tape replay with zero graph construction.
+    ObjectiveEngine engine;
     for (int step = 1; step <= cfg.steps_per_start; ++step) {
-        ObjectiveEval ev = evalObjective(layers, x, orders,
+        const ObjectiveEval &ev = engine.eval(layers, x, orders,
                 cfg.strategy, cfg.mode);
         // Geometric decay within the current rounding segment.
         int seg_pos = (step - 1) % cfg.round_every;
@@ -417,10 +455,11 @@ dosaSearch(const std::vector<Layer> &layers, const DosaConfig &cfg)
     // evaluations against thousands of descent steps.
     auto attempts = pool.parallelMap(num_starts, [&](size_t sp) {
         Rng rng = Rng::stream(cfg.seed, sp);
+        ObjectiveEngine engine; // per-task arena, reused over tries
         std::vector<StartCandidate> a;
         a.reserve(static_cast<size_t>(tries));
         for (int t = 0; t < tries; ++t)
-            a.push_back(makeStartCandidate(layers, cfg, rng));
+            a.push_back(makeStartCandidate(layers, cfg, rng, engine));
         return a;
     });
 

@@ -23,13 +23,8 @@
 
 namespace dosa {
 
-/**
- * Concrete-design latency scorer used when ranking rounded mappings.
- * Empty means "reference-model latency". Fig. 12 passes a learned
- * predictor here so designs are selected by predicted performance.
- */
-using LatencyScorer = std::function<double(
-        const Layer &, const Mapping &, const HardwareConfig &)>;
+// LatencyScorer (the point + batched concrete-design scoring seam)
+// lives in core/objective.hh next to the differentiable objective.
 
 /** DOSA run configuration (defaults follow Section 6.1). */
 struct DosaConfig

@@ -1,14 +1,18 @@
 /**
  * @file
  * Differentiable DOSA objective: log-space tiling parameters, log-EDP loss and the Eq 18 validity penalty.
+ *
+ * The graph is recorded through ObjectiveEngine, which reuses its
+ * arena Tape across descent steps: evaluations under an unchanged
+ * context run as a fused replay instead of a rebuild.
  */
 #include "core/objective.hh"
 
 #include <cmath>
 
 #include "arch/area_model.hh"
-#include "autodiff/tape.hh"
 #include "autodiff/var.hh"
+#include "exec/eval_cache.hh"
 #include "model/analytical.hh"
 #include "util/logging.hh"
 
@@ -26,6 +30,33 @@ strategyName(OrderStrategy s)
       case OrderStrategy::Softmax: return "Softmax";
     }
     return "?";
+}
+
+LatencyScorer
+LatencyScorer::batched(PointFn point, BatchFn batch)
+{
+    LatencyScorer s;
+    s.point_ = std::move(point);
+    s.batch_ = std::move(batch);
+    return s;
+}
+
+void
+LatencyScorer::scoreDesigns(std::span<const LatencyQuery> queries,
+                            std::span<double> out) const
+{
+    if (queries.size() != out.size())
+        panic("LatencyScorer::scoreDesigns: span size mismatch");
+    if (batch_) {
+        batch_(queries, out);
+        return;
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+        const LatencyQuery &q = queries[i];
+        out[i] = point_ ? point_(*q.layer, *q.mapping, *q.hw)
+                        : cachedEval(*q.layer, *q.mapping, *q.hw)
+                                  .latency;
+    }
 }
 
 std::vector<double>
@@ -66,24 +97,49 @@ const OrderVec kUniformOrders[kNumOrders] = {
     uniformOrder(LoopOrder::OS),
 };
 
+/** Equality of the mode fields that shape the objective graph. */
+bool
+modeEquals(const ObjectiveMode &a, const ObjectiveMode &b)
+{
+    return a.fix_pe == b.fix_pe && a.pe_dim == b.pe_dim &&
+           a.penalty_weight == b.penalty_weight &&
+           a.max_area_mm2 == b.max_area_mm2 &&
+           a.latency_model == b.latency_model &&
+           a.layer_weights == b.layer_weights;
+}
+
 } // namespace
 
-ObjectiveEval
-evalObjective(const std::vector<Layer> &layers,
-              const std::vector<double> &x,
-              const std::vector<OrderVec> &orders, OrderStrategy strategy,
-              const ObjectiveMode &mode)
+bool
+ObjectiveEngine::contextMatches(const std::vector<Layer> &layers,
+                                const std::vector<OrderVec> &orders,
+                                OrderStrategy strategy,
+                                const ObjectiveMode &mode) const
+{
+    if (!has_context_ || strategy != strategy_ ||
+        layers.size() != layers_.size() ||
+        !modeEquals(mode, mode_))
+        return false;
+    for (size_t li = 0; li < layers.size(); ++li)
+        if (!layers[li].sameShape(layers_[li]) ||
+            layers[li].count != layers_[li].count)
+            return false;
+    // The Softmax strategy ignores the orders argument entirely.
+    if (strategy != OrderStrategy::Softmax && orders != orders_)
+        return false;
+    return true;
+}
+
+void
+ObjectiveEngine::build(const std::vector<Layer> &layers,
+                       const std::vector<double> &x,
+                       const std::vector<OrderVec> &orders,
+                       OrderStrategy strategy, const ObjectiveMode &mode)
 {
     const size_t num_layers = layers.size();
-    if (x.size() != num_layers * kVarsPerLayer)
-        panic("evalObjective: variable vector size mismatch");
-    if (strategy != OrderStrategy::Softmax &&
-        orders.size() != num_layers)
-        panic("evalObjective: orders size mismatch");
-
-    Tape tape;
+    Tape &tape = tape_;
+    tape.reset();
     tape.reserve(num_layers * 4096);
-    std::vector<ad::NodeId> leaf_ids(x.size());
 
     // Reconstruct per-layer factors on the tape; infer DRAM residuals.
     std::vector<Factors<Var>> factors(num_layers);
@@ -97,17 +153,14 @@ evalObjective(const std::vector<Layer> &layers,
         for (int lvl = 0; lvl < kDram; ++lvl) {
             for (Dim d : kAllDims) {
                 Var leaf(tape, x[base + idx]);
-                leaf_ids[base + idx] = leaf.id();
                 f.t(lvl, d) = exp(leaf);
                 ++idx;
             }
         }
         Var leaf_sc(tape, x[base + idx]);
-        leaf_ids[base + idx] = leaf_sc.id();
         f.spatial_c = exp(leaf_sc);
         ++idx;
         Var leaf_sk(tape, x[base + idx]);
-        leaf_ids[base + idx] = leaf_sk.id();
         f.spatial_k = exp(leaf_sk);
         ++idx;
 
@@ -174,11 +227,9 @@ evalObjective(const std::vector<Layer> &layers,
 
     // Per-layer energy/latency, blended across orderings for Softmax
     // (Eq 15-17, with the inverse-EDP scores normalized by the best
-    // option so the softmax operates on O(1) values).
-    if (!mode.layer_weights.empty() &&
-        mode.layer_weights.size() != num_layers)
-        panic("evalObjective: layer_weights size mismatch");
-
+    // option so the softmax operates on O(1) values; the best-EDP
+    // normalizer stays on the tape so the graph shape is independent
+    // of which ordering currently wins).
     Var total_energy(0.0), total_latency(0.0);
     for (size_t li = 0; li < num_layers; ++li) {
         double cnt = static_cast<double>(layers[li].count);
@@ -200,15 +251,17 @@ evalObjective(const std::vector<Layer> &layers,
             e_l = perfs[0].energy_uj;
             l_l = perfs[0].latency;
         } else {
+            std::vector<Var> edps;
+            edps.reserve(perfs.size());
+            for (const auto &p : perfs)
+                edps.push_back(p.energy_uj * p.latency);
+            Var best_edp = edps[0];
+            for (size_t oi = 1; oi < edps.size(); ++oi)
+                best_edp = min(best_edp, edps[oi]);
             std::vector<Var> scores;
-            double best_edp = ad::val(perfs[0].energy_uj) *
-                              ad::val(perfs[0].latency);
-            for (const auto &p : perfs)
-                best_edp = std::min(best_edp,
-                        ad::val(p.energy_uj) * ad::val(p.latency));
-            for (const auto &p : perfs)
-                scores.push_back(Var(best_edp) /
-                        (p.energy_uj * p.latency));
+            scores.reserve(edps.size());
+            for (const Var &edp : edps)
+                scores.push_back(best_edp / edp);
             std::vector<Var> w = ad::softmax(scores);
             e_l = Var(0.0);
             l_l = Var(0.0);
@@ -230,17 +283,69 @@ evalObjective(const std::vector<Layer> &layers,
                 relu(area / Var(mode.max_area_mm2) - Var(1.0));
     }
 
-    ObjectiveEval out;
-    out.loss = loss.value();
-    out.energy_uj = total_energy.value();
-    out.latency = total_latency.value();
-    out.edp = out.energy_uj * out.latency;
-    out.penalty = penalty.value();
-    std::vector<double> adj = tape.gradient(loss.id());
-    out.grad.resize(x.size());
+    loss_id_ = loss.id();
+    energy_id_ = total_energy.id();
+    latency_id_ = total_latency.id();
+    penalty_id_ = penalty.id();
+
+    // Capture the context signature guarding future replays.
+    layers_ = layers;
+    orders_ = strategy == OrderStrategy::Softmax
+                      ? std::vector<OrderVec>{}
+                      : orders;
+    strategy_ = strategy;
+    mode_ = mode;
+    has_context_ = true;
+}
+
+void
+ObjectiveEngine::extract(const std::vector<double> &x)
+{
+    out_.loss = tape_.value(loss_id_);
+    out_.energy_uj = tape_.value(energy_id_);
+    out_.latency = tape_.value(latency_id_);
+    out_.penalty = tape_.value(penalty_id_);
+    out_.edp = out_.energy_uj * out_.latency;
+    tape_.gradientInto(loss_id_, adj_);
+    out_.grad.resize(x.size());
     for (size_t i = 0; i < x.size(); ++i)
-        out.grad[i] = adj[size_t(leaf_ids[i])];
-    return out;
+        out_.grad[i] = adj_[size_t(tape_.leaf(i))];
+}
+
+const ObjectiveEval &
+ObjectiveEngine::eval(const std::vector<Layer> &layers,
+                      const std::vector<double> &x,
+                      const std::vector<OrderVec> &orders,
+                      OrderStrategy strategy, const ObjectiveMode &mode)
+{
+    if (x.size() != layers.size() * kVarsPerLayer)
+        panic("evalObjective: variable vector size mismatch");
+    if (strategy != OrderStrategy::Softmax &&
+        orders.size() != layers.size())
+        panic("evalObjective: orders size mismatch");
+    if (!mode.layer_weights.empty() &&
+        mode.layer_weights.size() != layers.size())
+        panic("evalObjective: layer_weights size mismatch");
+
+    if (contextMatches(layers, orders, strategy, mode)) {
+        tape_.replay(x);
+        ++replays_;
+    } else {
+        build(layers, x, orders, strategy, mode);
+        ++builds_;
+    }
+    extract(x);
+    return out_;
+}
+
+ObjectiveEval
+evalObjective(const std::vector<Layer> &layers,
+              const std::vector<double> &x,
+              const std::vector<OrderVec> &orders, OrderStrategy strategy,
+              const ObjectiveMode &mode)
+{
+    ObjectiveEngine engine;
+    return engine.eval(layers, x, orders, strategy, mode);
 }
 
 } // namespace dosa

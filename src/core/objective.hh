@@ -17,14 +17,93 @@
 #ifndef DOSA_CORE_OBJECTIVE_HH
 #define DOSA_CORE_OBJECTIVE_HH
 
+#include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "arch/hardware_config.hh"
+#include "autodiff/tape.hh"
 #include "mapping/mapping.hh"
 #include "model/analytical.hh"
 #include "workload/layer.hh"
 
 namespace dosa {
+
+/** One (layer, mapping, hardware) latency query for batched scoring. */
+struct LatencyQuery
+{
+    const Layer *layer = nullptr;
+    const Mapping *mapping = nullptr;
+    const HardwareConfig *hw = nullptr;
+};
+
+/**
+ * Concrete-design latency scorer used when ranking rounded mappings.
+ * Empty means "reference-model latency" (served through the global
+ * EvalCache). Fig. 12 passes a learned predictor here so designs are
+ * selected by predicted performance.
+ *
+ * Beyond the point call, the class exposes the batched seam the
+ * ROADMAP asks for: `scoreDesigns` scores a whole span of queries in
+ * one call, so a SIMD/GPU/remote backend can amortize per-call
+ * overhead (construct one with `batched()` to install a bulk
+ * implementation; the default loops the point function). All searcher
+ * scoring paths route through this seam.
+ */
+class LatencyScorer
+{
+  public:
+    using PointFn = std::function<double(
+            const Layer &, const Mapping &, const HardwareConfig &)>;
+    using BatchFn = std::function<void(std::span<const LatencyQuery>,
+                                       std::span<double>)>;
+
+    /** Empty scorer: reference-model latency. */
+    LatencyScorer() = default;
+
+    /** Wrap a point function (implicit, keeps lambda call sites). */
+    LatencyScorer(PointFn point) : point_(std::move(point)) {}
+
+    /** Wrap a point function plus an amortized bulk implementation. */
+    static LatencyScorer batched(PointFn point, BatchFn batch);
+
+    /** True when a custom scorer (point or bulk) is installed. */
+    explicit operator bool() const
+    {
+        return static_cast<bool>(point_) || static_cast<bool>(batch_);
+    }
+
+    /**
+     * Score one design. Uses the point function when present, else a
+     * single-query bulk call (a batch-only backend stays usable from
+     * point call sites).
+     */
+    double
+    operator()(const Layer &l, const Mapping &m,
+               const HardwareConfig &hw) const
+    {
+        if (point_)
+            return point_(l, m, hw);
+        LatencyQuery q{&l, &m, &hw};
+        double out = 0.0;
+        batch_(std::span<const LatencyQuery>(&q, 1),
+                std::span<double>(&out, 1));
+        return out;
+    }
+
+    /**
+     * Score `queries.size()` designs into `out` (same length). Uses
+     * the bulk implementation when installed, the point function
+     * otherwise, and cached reference latency when empty.
+     */
+    void scoreDesigns(std::span<const LatencyQuery> queries,
+                      std::span<double> out) const;
+
+  private:
+    PointFn point_;
+    BatchFn batch_;
+};
 
 /**
  * Pluggable differentiable latency model (Section 6.5): replaces or
@@ -119,7 +198,83 @@ Factors<double> unpackFactors(const std::vector<double> &x,
                               size_t layer_index);
 
 /**
- * Evaluate loss and gradient at x (size layers.size()*kVarsPerLayer).
+ * Arena-reusing evaluator of the differentiable objective.
+ *
+ * The objective graph has an identical shape for a fixed context
+ * (layer shapes/counts, orderings, strategy, mode), so across the
+ * descent steps of one start point only the leaf values x change.
+ * The engine records the graph once on an owned Tape, then serves
+ * subsequent evaluations with a fused `Tape::replay` (forward
+ * re-valuation + partial recomputation) and a reverse sweep into a
+ * reused adjoint buffer — no graph reconstruction, no allocation.
+ * Context changes (e.g. re-selected orderings after a rounding) are
+ * detected automatically and trigger a rebuild; results are
+ * bitwise-identical either way.
+ *
+ * Thread ownership: an engine (like its Tape) must only be used by
+ * one thread at a time. Each searcher start point owns one engine.
+ * If `mode.latency_model` is set, the model object must not be
+ * mutated (e.g. retrained) between evaluations sharing the engine.
+ */
+class ObjectiveEngine
+{
+  public:
+    /**
+     * Evaluate loss and gradient at x (layers.size()*kVarsPerLayer).
+     *
+     * @param orders   Per-layer loop orderings (Fixed / Iterate
+     *                 modes). Ignored by the Softmax strategy, which
+     *                 blends the three uniform orderings (Eq 15-17).
+     * @return a reference to engine-owned storage, valid until the
+     *         next eval() call.
+     */
+    const ObjectiveEval &eval(const std::vector<Layer> &layers,
+                              const std::vector<double> &x,
+                              const std::vector<OrderVec> &orders,
+                              OrderStrategy strategy,
+                              const ObjectiveMode &mode);
+
+    /** Graph (re)constructions served so far. */
+    uint64_t builds() const { return builds_; }
+
+    /** Replay-path evaluations served so far. */
+    uint64_t replays() const { return replays_; }
+
+  private:
+    bool contextMatches(const std::vector<Layer> &layers,
+                        const std::vector<OrderVec> &orders,
+                        OrderStrategy strategy,
+                        const ObjectiveMode &mode) const;
+
+    void build(const std::vector<Layer> &layers,
+               const std::vector<double> &x,
+               const std::vector<OrderVec> &orders,
+               OrderStrategy strategy, const ObjectiveMode &mode);
+
+    void extract(const std::vector<double> &x);
+
+    ad::Tape tape_;
+    std::vector<double> adj_; ///< reused adjoint buffer
+    ObjectiveEval out_;       ///< reused result (grad storage)
+    ad::NodeId loss_id_ = ad::kNoParent;
+    ad::NodeId energy_id_ = ad::kNoParent;
+    ad::NodeId latency_id_ = ad::kNoParent;
+    ad::NodeId penalty_id_ = ad::kNoParent;
+
+    // Cached context signature guarding the replay fast path.
+    bool has_context_ = false;
+    std::vector<Layer> layers_;
+    std::vector<OrderVec> orders_;
+    OrderStrategy strategy_ = OrderStrategy::Fixed;
+    ObjectiveMode mode_;
+    uint64_t builds_ = 0;
+    uint64_t replays_ = 0;
+};
+
+/**
+ * Evaluate loss and gradient at x (size layers.size()*kVarsPerLayer)
+ * with a one-shot engine (fresh graph build). Prefer a long-lived
+ * ObjectiveEngine in descent loops.
  *
  * @param orders   Per-layer loop orderings (Fixed / Iterate modes).
  *                 Ignored by the Softmax strategy, which blends the

@@ -158,10 +158,22 @@ LatencyPredictor::predictAll(const SurrogateDataset &ds) const
 LatencyScorer
 LatencyPredictor::scorer() const
 {
-    return [this](const Layer &layer, const Mapping &m,
-                  const HardwareConfig &hw) {
+    LatencyScorer::PointFn point = [this](const Layer &layer,
+                                          const Mapping &m,
+                                          const HardwareConfig &hw) {
         return predict(layer, m, hw);
     };
+    // Batched seam: one call per network/ordering sweep. Today this
+    // loops the MLP point predictions; a SIMD or remote batch
+    // inference backend slots in here without touching callers.
+    LatencyScorer::BatchFn batch =
+            [this](std::span<const LatencyQuery> queries,
+                   std::span<double> out) {
+        for (size_t i = 0; i < queries.size(); ++i)
+            out[i] = predict(*queries[i].layer, *queries[i].mapping,
+                    *queries[i].hw);
+    };
+    return LatencyScorer::batched(std::move(point), std::move(batch));
 }
 
 ad::Var

@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <thread>
+#include <vector>
 
 #include "autodiff/tape.hh"
 #include "autodiff/var.hh"
@@ -18,6 +22,7 @@ namespace dosa {
 namespace {
 
 using ad::Tape;
+using ad::NodeId;
 using ad::Var;
 
 /** Central finite difference of f at x. */
@@ -249,6 +254,199 @@ TEST(Autodiff, RandomDeepExpressions)
                 1e-3 * std::max(1.0, std::abs(fd)))
                 << "trial " << trial;
     }
+}
+
+/** Bitwise double equality (distinguishes +0.0 / -0.0). */
+bool
+bitEq(double a, double b)
+{
+    return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/**
+ * An expression exercising every tape op kind, including the
+ * value-dependent max/min/relu selections and a softmax (whose
+ * internal shift re-selects its argmax on replay). Returns the output
+ * Var; shape is identical for any leaf values.
+ */
+Var
+buildAllOps(Tape &tape, const std::vector<double> &xs,
+            std::vector<Var> &leaves)
+{
+    leaves.clear();
+    for (double v : xs)
+        leaves.emplace_back(tape, v);
+    const Var &a = leaves[0], &b = leaves[1], &c = leaves[2];
+    const Var &d = leaves[3];
+    Var t = -a + b - c * d / (a + Var(3.0));
+    t = t + (Var(2.0) - b) + b * Var(0.5) + Var(1.5) / (c + Var(4.0));
+    t = t + log(a + Var(5.0)) + exp(b * Var(0.1)) +
+        sqrt(c + Var(6.0)) + pow(d + Var(7.0), 1.3);
+    t = t + max(a, b) + min(c, d);          // both-taped selections
+    t = t + max(a, Var(0.7)) + max(Var(0.7), b); // const-right / left
+    t = t + min(c, Var(0.2)) + min(Var(0.2), d);
+    t = t + relu(a - b) + relu(b - a);      // one side always off
+    std::vector<Var> w = ad::softmax({a, b, c, d});
+    t = t + w[0] * Var(1.0) + w[1] * Var(2.0) + w[2] * Var(3.0) +
+        w[3] * Var(4.0);
+    t = t + ad::sum(w);
+    return t;
+}
+
+/**
+ * The arena contract: replay at new leaf values must be
+ * bitwise-identical — values and full adjoint vector — to building a
+ * fresh tape at those values, even when max/min/relu branches and the
+ * softmax argmax flip between the two points.
+ */
+TEST(TapeReplay, BitwiseEqualsFreshBuild)
+{
+    // x1 inverts the order of every pair so all selections flip.
+    std::vector<double> x0 = {1.0, 2.0, -0.5, 0.8};
+    std::vector<double> x1 = {2.5, -1.0, 0.9, -0.3};
+
+    Tape reused;
+    std::vector<Var> leaves;
+    Var out0 = buildAllOps(reused, x0, leaves);
+    std::vector<double> adj0 = reused.gradient(out0.id());
+
+    // Replay the same graph at x1...
+    reused.replay(x1);
+    std::vector<double> adj_replay;
+    reused.gradientInto(out0.id(), adj_replay);
+
+    // ...and compare against a from-scratch build at x1.
+    Tape fresh;
+    std::vector<Var> leaves1;
+    Var out1 = buildAllOps(fresh, x1, leaves1);
+    std::vector<double> adj_fresh = fresh.gradient(out1.id());
+
+    ASSERT_EQ(reused.size(), fresh.size());
+    ASSERT_EQ(out0.id(), out1.id());
+    for (size_t i = 0; i < fresh.size(); ++i)
+        EXPECT_TRUE(bitEq(reused.value(NodeId(i)),
+                fresh.value(NodeId(i))))
+                << "value mismatch at node " << i;
+    ASSERT_EQ(adj_replay.size(), adj_fresh.size());
+    for (size_t i = 0; i < adj_fresh.size(); ++i)
+        EXPECT_TRUE(bitEq(adj_replay[i], adj_fresh[i]))
+                << "adjoint mismatch at node " << i;
+
+    // Replaying back at x0 restores the original state exactly.
+    reused.replay(x0);
+    std::vector<double> adj_back;
+    reused.gradientInto(out0.id(), adj_back);
+    for (size_t i = 0; i < adj0.size(); ++i)
+        EXPECT_TRUE(bitEq(adj_back[i], adj0[i]));
+}
+
+TEST(TapeReplay, BranchFlipReroutesGradient)
+{
+    Tape tape;
+    Var a(tape, 3.0), b(tape, 5.0);
+    Var out = max(a, b);
+    std::vector<double> adj;
+    tape.gradientInto(out.id(), adj);
+    EXPECT_DOUBLE_EQ(adj[size_t(a.id())], 0.0);
+    EXPECT_DOUBLE_EQ(adj[size_t(b.id())], 1.0);
+
+    tape.replay(std::vector<double>{6.0, 1.0});
+    EXPECT_DOUBLE_EQ(tape.value(out.id()), 6.0);
+    tape.gradientInto(out.id(), adj);
+    EXPECT_DOUBLE_EQ(adj[size_t(a.id())], 1.0);
+    EXPECT_DOUBLE_EQ(adj[size_t(b.id())], 0.0);
+}
+
+TEST(TapeReplay, ReluFlipOnReplay)
+{
+    Tape tape;
+    Var x(tape, -2.0);
+    Var out = relu(x);
+    EXPECT_DOUBLE_EQ(out.value(), 0.0);
+    tape.replay(std::vector<double>{4.0});
+    EXPECT_DOUBLE_EQ(tape.value(out.id()), 4.0);
+    std::vector<double> adj;
+    tape.gradientInto(out.id(), adj);
+    EXPECT_DOUBLE_EQ(adj[size_t(x.id())], 1.0);
+}
+
+TEST(TapeReplay, LeafCountMismatchPanics)
+{
+    Tape tape;
+    Var a(tape, 1.0), b(tape, 2.0);
+    (void)(a + b);
+    EXPECT_DEATH(tape.replay(std::vector<double>{1.0}),
+            "leaf count mismatch");
+}
+
+TEST(TapeReset, ArenaRebuildReproducesIds)
+{
+    Tape tape;
+    std::vector<Var> leaves;
+    Var out0 = buildAllOps(tape, {1.0, 2.0, 3.0, 4.0}, leaves);
+    size_t nodes = tape.size();
+    double v0 = out0.value();
+
+    // reset() drops the program but keeps the arena; an identical
+    // rebuild lands on identical ids and values.
+    tape.reset();
+    EXPECT_EQ(tape.size(), 0u);
+    EXPECT_EQ(tape.numLeaves(), 0u);
+    Var out1 = buildAllOps(tape, {1.0, 2.0, 3.0, 4.0}, leaves);
+    EXPECT_EQ(tape.size(), nodes);
+    EXPECT_EQ(out1.id(), out0.id());
+    EXPECT_TRUE(bitEq(out1.value(), v0));
+}
+
+TEST(TapeReplay, EightThreadHammerPerThreadTapes)
+{
+    // Thread-ownership rule: one tape per thread. Each thread builds
+    // its own graph, then replays it across many leaf assignments,
+    // checking every round against a fresh single-use tape.
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 50;
+    std::vector<int> failures(kThreads, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &failures] {
+            Rng rng(977 + uint64_t(t));
+            auto draw = [&] {
+                std::vector<double> x;
+                for (int i = 0; i < 4; ++i)
+                    x.push_back(rng.uniformReal(-3.0, 3.0));
+                return x;
+            };
+            Tape arena;
+            std::vector<Var> leaves;
+            Var out = buildAllOps(arena, draw(), leaves);
+            std::vector<double> adj_arena, adj_fresh;
+            for (int r = 0; r < kRounds; ++r) {
+                std::vector<double> x = draw();
+                arena.replay(x);
+                arena.gradientInto(out.id(), adj_arena);
+
+                Tape fresh;
+                std::vector<Var> fl;
+                Var fout = buildAllOps(fresh, x, fl);
+                fresh.gradientInto(fout.id(), adj_fresh);
+
+                if (adj_arena.size() != adj_fresh.size()) {
+                    ++failures[size_t(t)];
+                    continue;
+                }
+                for (size_t i = 0; i < adj_fresh.size(); ++i)
+                    if (!bitEq(adj_arena[i], adj_fresh[i]) ||
+                        !bitEq(arena.value(NodeId(i)),
+                               fresh.value(NodeId(i))))
+                        ++failures[size_t(t)];
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(failures[size_t(t)], 0) << "thread " << t;
 }
 
 TEST(Tape, ClearAndReserve)

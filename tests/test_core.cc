@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "core/adam.hh"
 #include "core/dosa_optimizer.hh"
@@ -126,6 +129,120 @@ TEST(Objective, SoftmaxStrategyProducesFiniteGradients)
     EXPECT_GT(ev.edp, 0.0);
     for (double g : ev.grad)
         EXPECT_TRUE(std::isfinite(g));
+}
+
+/**
+ * The arena engine must be invisible to results: a long-lived
+ * ObjectiveEngine serving a descent-like sequence of x vectors (replay
+ * fast path) returns bitwise-identical losses and gradients to
+ * one-shot evalObjective calls (fresh graph each time), across
+ * strategies and through a mid-sequence ordering change (rebuild).
+ */
+TEST(Objective, EngineReplayBitwiseEqualsFreshBuild)
+{
+    Network net = bertBase();
+    std::vector<Layer> layers(net.layers.begin(),
+            net.layers.begin() + 2);
+    HardwareConfig hw{16, 64, 256};
+    std::vector<double> x;
+    std::vector<OrderVec> orders;
+    for (const Layer &l : layers) {
+        auto xl = packMapping(cosaMap(l, hw));
+        x.insert(x.end(), xl.begin(), xl.end());
+        orders.push_back(uniformOrder(LoopOrder::WS));
+    }
+    ObjectiveMode mode;
+    auto bitEq = [](double a, double b) {
+        return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+    };
+
+    for (OrderStrategy strategy :
+         {OrderStrategy::Fixed, OrderStrategy::Softmax}) {
+        ObjectiveEngine engine;
+        Rng rng(7);
+        std::vector<double> xi = x;
+        for (int step = 0; step < 6; ++step) {
+            // Orders flip mid-sequence: forces one rebuild for the
+            // non-Softmax strategy.
+            if (step == 3)
+                orders.assign(layers.size(),
+                        uniformOrder(LoopOrder::OS));
+            const ObjectiveEval &a = engine.eval(layers, xi, orders,
+                    strategy, mode);
+            ObjectiveEval b = evalObjective(layers, xi, orders,
+                    strategy, mode);
+            EXPECT_TRUE(bitEq(a.loss, b.loss)) << "step " << step;
+            EXPECT_TRUE(bitEq(a.energy_uj, b.energy_uj));
+            EXPECT_TRUE(bitEq(a.latency, b.latency));
+            EXPECT_TRUE(bitEq(a.penalty, b.penalty));
+            ASSERT_EQ(a.grad.size(), b.grad.size());
+            for (size_t i = 0; i < b.grad.size(); ++i)
+                EXPECT_TRUE(bitEq(a.grad[i], b.grad[i]))
+                        << "strategy "
+                        << strategyName(strategy)
+                        << " step " << step << " coord " << i;
+            for (double &v : xi)
+                v += rng.uniformReal(-0.2, 0.2);
+        }
+        EXPECT_GE(engine.builds(), 1u);
+        EXPECT_GE(engine.replays(), 3u);
+    }
+}
+
+TEST(Objective, BatchedScorerSeamMatchesPointCalls)
+{
+    Network net = bertBase();
+    std::vector<Layer> layers(net.layers.begin(),
+            net.layers.begin() + 3);
+    HardwareConfig hw{16, 64, 256};
+    std::vector<Mapping> mappings;
+    for (const Layer &l : layers)
+        mappings.push_back(cosaMap(l, hw));
+
+    // A point scorer with a recognizable shape.
+    LatencyScorer point([](const Layer &l, const Mapping &,
+                           const HardwareConfig &) {
+        return static_cast<double>(l.k) * 2.0;
+    });
+    std::vector<LatencyQuery> queries(layers.size());
+    for (size_t i = 0; i < layers.size(); ++i)
+        queries[i] = {&layers[i], &mappings[i], &hw};
+    std::vector<double> out(layers.size(), 0.0);
+    point.scoreDesigns(queries, out);
+    for (size_t i = 0; i < layers.size(); ++i)
+        EXPECT_DOUBLE_EQ(out[i],
+                static_cast<double>(layers[i].k) * 2.0);
+
+    // A bulk backend takes precedence over the point loop.
+    LatencyScorer bulk = LatencyScorer::batched(
+            [](const Layer &, const Mapping &,
+               const HardwareConfig &) { return -1.0; },
+            [](std::span<const LatencyQuery> qs,
+               std::span<double> o) {
+                for (size_t i = 0; i < qs.size(); ++i)
+                    o[i] = static_cast<double>(i) + 10.0;
+            });
+    bulk.scoreDesigns(queries, out);
+    for (size_t i = 0; i < layers.size(); ++i)
+        EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) + 10.0);
+
+    // A batch-only backend still counts as installed, and point
+    // calls route through a single-query bulk call.
+    LatencyScorer batch_only = LatencyScorer::batched({},
+            [](std::span<const LatencyQuery> qs, std::span<double> o) {
+                for (size_t i = 0; i < qs.size(); ++i)
+                    o[i] = static_cast<double>(qs[i].layer->k) + 0.5;
+            });
+    EXPECT_TRUE(static_cast<bool>(batch_only));
+    EXPECT_DOUBLE_EQ(batch_only(layers[1], mappings[1], hw),
+            static_cast<double>(layers[1].k) + 0.5);
+
+    // Empty scorer: cached reference latency.
+    LatencyScorer empty;
+    EXPECT_FALSE(static_cast<bool>(empty));
+    empty.scoreDesigns(queries, out);
+    for (size_t i = 0; i < layers.size(); ++i)
+        EXPECT_GT(out[i], 0.0);
 }
 
 TEST(Objective, PenaltyFiresOnInvalidFactors)
