@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Self-timing benchmark of the batched tape interpreter: the
+ * steady-state multi-candidate gradient sweep
+ * (`ObjectiveEngine::evalBatch`, one lane-blocked
+ * `Tape::replayBatch` + `gradientBatchInto` pass) against the PR 3
+ * scalar baseline (one `eval` replay per candidate), per objective
+ * size and candidate count. This is the measurement behind the
+ * batch-replay rows in bench/PERF.md; unlike BM_ReplayBatch in
+ * bench_model_microbench it needs no Google Benchmark install.
+ */
+
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/objective.hh"
+#include "stats/stats.hh"
+#include "workload/model_zoo.hh"
+
+using namespace dosa;
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::parseScale(argc, argv);
+    bench::banner("Batched tape replay: multi-candidate gradient "
+                  "sweeps vs scalar replay",
+            scale);
+    bench::WallTimer timer;
+
+    const int reps = scale.pick(20, 300, 3000);
+    const int layer_counts[] = {1, 8, 24};
+    const int cand_counts[] = {4, 8, 16};
+
+    Network net = resnet50();
+    TablePrinter table({"layers", "candidates", "scalar us/cand",
+                        "batch us/cand", "speedup"});
+    double sink = 0.0;
+
+    for (int lc : layer_counts) {
+        std::vector<Layer> layers(net.layers.begin(),
+                net.layers.begin() + size_t(lc));
+        std::vector<OrderVec> orders(layers.size(),
+                uniformOrder(LoopOrder::WS));
+        ObjectiveMode mode;
+        for (int nc : cand_counts) {
+            auto xs = bench::descentCandidates(layers, size_t(nc));
+
+            // Scalar baseline: one replay + sweep per candidate
+            // (first eval pays the build, as in a descent segment).
+            ObjectiveEngine scalar_engine;
+            for (const auto &x : xs)
+                sink += scalar_engine.eval(layers, x, orders,
+                        OrderStrategy::Fixed, mode).loss;
+            bench::WallTimer t_scalar;
+            for (int r = 0; r < reps; ++r)
+                for (const auto &x : xs)
+                    sink += scalar_engine.eval(layers, x, orders,
+                            OrderStrategy::Fixed, mode).loss;
+            double us_scalar = t_scalar.seconds() * 1e6 /
+                    (static_cast<double>(reps) * nc);
+
+            // Batched: every candidate in one lane-blocked sweep.
+            ObjectiveEngine batch_engine;
+            sink += batch_engine.evalBatch(layers, xs, orders,
+                    OrderStrategy::Fixed, mode)[0].loss;
+            bench::WallTimer t_batch;
+            for (int r = 0; r < reps; ++r)
+                sink += batch_engine.evalBatch(layers, xs, orders,
+                        OrderStrategy::Fixed, mode)[0].loss;
+            double us_batch = t_batch.seconds() * 1e6 /
+                    (static_cast<double>(reps) * nc);
+
+            table.addRow({std::to_string(lc), std::to_string(nc),
+                    fmt(us_scalar, 2), fmt(us_batch, 2),
+                    fmt(us_scalar / us_batch, 2) + "x"});
+        }
+    }
+
+    std::printf("Steady-state gradient sweeps, %d reps per cell "
+                "(sink %.3g):\n",
+            reps, sink);
+    table.print();
+    table.writeCsv("bench_replay_batch.csv");
+    bench::perfFooter(timer);
+    return 0;
+}

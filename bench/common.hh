@@ -20,10 +20,14 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/objective.hh"
 #include "exec/eval_cache.hh"
 #include "exec/thread_pool.hh"
+#include "search/cosa_mapper.hh"
 #include "util/cli.hh"
+#include "util/rng.hh"
 #include "util/table.hh"
 
 namespace dosa::bench {
@@ -96,6 +100,29 @@ note(const std::string &text)
     std::printf("%s\n", text.c_str());
 }
 
+/**
+ * Perturbed descent candidates around the CoSA start of `layers`:
+ * the shared input set of the batch-replay benchmarks, so
+ * `bench_replay_batch` and `BM_ReplayBatch` (bench_model_microbench)
+ * cross-check each other on identical candidates.
+ */
+inline std::vector<std::vector<double>>
+descentCandidates(const std::vector<Layer> &layers, size_t count)
+{
+    const HardwareConfig hw{16, 32, 128};
+    std::vector<double> x0;
+    for (const Layer &l : layers) {
+        auto xl = packMapping(cosaMap(l, hw));
+        x0.insert(x0.end(), xl.begin(), xl.end());
+    }
+    Rng rng(99);
+    std::vector<std::vector<double>> xs(count, x0);
+    for (size_t k = 1; k < count; ++k)
+        for (double &v : xs[k])
+            v += rng.uniformReal(-0.1, 0.1);
+    return xs;
+}
+
 /** Monotonic wall-clock timer for the perf summaries. */
 class WallTimer
 {
@@ -114,14 +141,23 @@ class WallTimer
 };
 
 /**
- * Print the bench wall clock and the shared evaluation-cache counters
- * — the standard perf footer of every figure bench.
+ * Print the bench wall clock and the shared evaluation-cache state —
+ * the standard perf footer of every figure bench. The cache mode is
+ * stated explicitly: under --no-cache the counters never move, and
+ * printing their stale zeros would make a PERF.md row ambiguous about
+ * which mode produced it.
  */
 inline void
 perfFooter(const WallTimer &timer)
 {
-    std::printf("\nwall clock: %.2f s, eval cache: %s\n",
-            timer.seconds(), globalEvalCache().stats().str().c_str());
+    if (globalEvalCache().enabled())
+        std::printf("\nwall clock: %.2f s, eval cache: %s\n",
+                timer.seconds(),
+                globalEvalCache().stats().str().c_str());
+    else
+        std::printf("\nwall clock: %.2f s, eval cache: disabled "
+                    "(--no-cache)\n",
+                timer.seconds());
 }
 
 } // namespace dosa::bench

@@ -118,12 +118,9 @@ scoreDesign(const std::vector<Layer> &layers,
     // see the whole network at once; energy always comes from the
     // (cached) reference model.
     std::vector<double> lats(n, 0.0);
-    if (scorer) {
-        std::vector<LatencyQuery> queries(n);
-        for (size_t li = 0; li < n; ++li)
-            queries[li] = {&layers[li], &mappings[li], &hw};
-        scorer.scoreDesigns(queries, lats);
-    }
+    if (scorer)
+        scorer.scoreDesigns(makeLayerQueries(layers, mappings, hw),
+                lats);
     NetworkEval out;
     for (size_t li = 0; li < n; ++li) {
         LayerEval ev = cachedEval(layers[li], mappings[li], hw);
@@ -288,14 +285,13 @@ struct StartOutcome
 
 /**
  * Generate one start attempt, drawing from the start's own stream.
- * `engine` is the caller's arena evaluator: every attempt shares the
- * same objective shape, so attempts after the first replay instead of
- * rebuilding the graph.
+ * `model_edp` is left unset: every attempt of a start shares the same
+ * objective shape, so the caller scores all of them in one
+ * ObjectiveEngine::evalBatch lane sweep after generation.
  */
 StartCandidate
 makeStartCandidate(const std::vector<Layer> &layers,
-                   const DosaConfig &cfg, Rng &rng,
-                   ObjectiveEngine &engine)
+                   const DosaConfig &cfg, Rng &rng)
 {
     StartCandidate c;
     c.orders.assign(layers.size(), uniformOrder(LoopOrder::WS));
@@ -324,9 +320,6 @@ makeStartCandidate(const std::vector<Layer> &layers,
         std::vector<double> xl = packMapping(m);
         c.x.insert(c.x.end(), xl.begin(), xl.end());
     }
-    const ObjectiveEval &ev = engine.eval(layers, c.x, c.orders,
-            OrderStrategy::Fixed, cfg.mode);
-    c.model_edp = ev.edp;
     return c;
 }
 
@@ -370,21 +363,62 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
     std::vector<double> start_best_x = x;
     std::vector<OrderVec> start_best_orders = orders;
     Adam adam(x.size(), cfg.lr);
+    const int probes = std::max(1, cfg.line_search_probes);
+    std::vector<std::vector<double>> ls_cands(
+            static_cast<size_t>(probes));
     // Arena-reused objective evaluator: within a rounding segment the
     // context (orders, mode, strategy) is fixed, so every step after
     // the first is a fused tape replay with zero graph construction.
     ObjectiveEngine engine;
+    // In line-search mode the batch sweep already valued and
+    // differentiated the committed candidate, so its eval is carried
+    // into the next step instead of being recomputed; null = the
+    // current x has no usable eval (start of segment, plain step,
+    // post-rounding reset). Points at engine-owned storage, valid
+    // until the next eval/evalBatch call.
+    const ObjectiveEval *carried = nullptr;
     for (int step = 1; step <= cfg.steps_per_start; ++step) {
-        const ObjectiveEval &ev = engine.eval(layers, x, orders,
-                cfg.strategy, cfg.mode);
+        const ObjectiveEval &ev = carried
+                ? *carried
+                : engine.eval(layers, x, orders, cfg.strategy,
+                          cfg.mode);
+        carried = nullptr;
         // Geometric decay within the current rounding segment.
         int seg_pos = (step - 1) % cfg.round_every;
         double frac = static_cast<double>(seg_pos) /
                 static_cast<double>(std::max(1,
                         cfg.round_every - 1));
-        adam.step(x, ev.grad, std::pow(cfg.lr_decay, frac));
-        if (cfg.project_feasible)
-            projectFeasible(x, layers, cfg.mode.peCap());
+        double lr_scale = std::pow(cfg.lr_decay, frac);
+        if (probes == 1) {
+            adam.step(x, ev.grad, lr_scale);
+            if (cfg.project_feasible)
+                projectFeasible(x, layers, cfg.mode.peCap());
+        } else {
+            // Batched line search: commit the gradient to the moments
+            // once, preview the same Adam direction at `probes`
+            // halving step sizes, value every candidate in one
+            // lane-blocked batch sweep and keep the lowest loss
+            // (first wins ties, so probe 0 reproduces the plain step
+            // whenever shrinking does not strictly help).
+            adam.advance(ev.grad);
+            double scale = 1.0;
+            for (int k = 0; k < probes; ++k, scale *= 0.5) {
+                ls_cands[size_t(k)] = x;
+                adam.apply(ls_cands[size_t(k)], lr_scale * scale);
+                if (cfg.project_feasible)
+                    projectFeasible(ls_cands[size_t(k)], layers,
+                            cfg.mode.peCap());
+            }
+            const std::vector<ObjectiveEval> &cand_evs =
+                    engine.evalBatch(layers, ls_cands, orders,
+                            cfg.strategy, cfg.mode);
+            size_t best_k = 0;
+            for (size_t k = 1; k < cand_evs.size(); ++k)
+                if (cand_evs[k].loss < cand_evs[best_k].loss)
+                    best_k = k;
+            x = ls_cands[best_k];
+            carried = &cand_evs[best_k];
+        }
 
         bool round_now = (step % cfg.round_every == 0) ||
                          step == cfg.steps_per_start;
@@ -430,6 +464,7 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
             orders = start_best_orders;
         }
         adam.reset();
+        carried = nullptr; // x was reset; its eval is stale
     }
     return out;
 }
@@ -455,11 +490,23 @@ dosaSearch(const std::vector<Layer> &layers, const DosaConfig &cfg)
     // evaluations against thousands of descent steps.
     auto attempts = pool.parallelMap(num_starts, [&](size_t sp) {
         Rng rng = Rng::stream(cfg.seed, sp);
-        ObjectiveEngine engine; // per-task arena, reused over tries
         std::vector<StartCandidate> a;
         a.reserve(static_cast<size_t>(tries));
-        for (int t = 0; t < tries; ++t)
-            a.push_back(makeStartCandidate(layers, cfg, rng, engine));
+        std::vector<std::vector<double>> xs;
+        xs.reserve(static_cast<size_t>(tries));
+        for (int t = 0; t < tries; ++t) {
+            a.push_back(makeStartCandidate(layers, cfg, rng));
+            xs.push_back(a.back().x);
+        }
+        // All attempts share one objective shape (WS orders, Fixed
+        // strategy): one build + one lane-blocked batch sweep scores
+        // every attempt's model EDP.
+        ObjectiveEngine engine; // per-task arena
+        const std::vector<ObjectiveEval> &evs = engine.evalBatch(
+                layers, xs, a[0].orders, OrderStrategy::Fixed,
+                cfg.mode);
+        for (size_t t = 0; t < a.size(); ++t)
+            a[t].model_edp = evs[t].edp;
         return a;
     });
 

@@ -42,6 +42,17 @@ struct DosaConfig
      */
     double lr = 0.02;
     double lr_decay = 0.3;
+    /**
+     * Batched line-search probes per descent step (1 = plain Adam
+     * step, the default). With k > 1, Adam's moments fix the step
+     * direction once, k candidate step sizes (the scheduled rate
+     * scaled by 1, 1/2, ..., 1/2^(k-1)) are valued in a single
+     * ObjectiveEngine::evalBatch lane sweep, and the lowest-loss
+     * candidate is committed. Changes the descent trajectory, so it
+     * is off by default to keep baseline traces stable; results stay
+     * bit-identical for any `jobs` value either way.
+     */
+    int line_search_probes = 1;
     OrderStrategy strategy = OrderStrategy::Iterate;
     ObjectiveMode mode;
     uint64_t seed = 1;

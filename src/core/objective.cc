@@ -338,6 +338,63 @@ ObjectiveEngine::eval(const std::vector<Layer> &layers,
     return out_;
 }
 
+const std::vector<ObjectiveEval> &
+ObjectiveEngine::evalBatch(const std::vector<Layer> &layers,
+                           std::span<const std::vector<double>> xs,
+                           const std::vector<OrderVec> &orders,
+                           OrderStrategy strategy,
+                           const ObjectiveMode &mode)
+{
+    if (xs.empty())
+        panic("evalBatch: empty candidate batch");
+    const size_t dim = layers.size() * kVarsPerLayer;
+    for (const std::vector<double> &x : xs)
+        if (x.size() != dim)
+            panic("evalBatch: variable vector size mismatch");
+    if (strategy != OrderStrategy::Softmax &&
+        orders.size() != layers.size())
+        panic("evalBatch: orders size mismatch");
+    if (!mode.layer_weights.empty() &&
+        mode.layer_weights.size() != layers.size())
+        panic("evalBatch: layer_weights size mismatch");
+
+    // One shared graph serves every candidate: the context fixes the
+    // shape, only leaf values differ per lane.
+    if (!contextMatches(layers, orders, strategy, mode)) {
+        build(layers, xs[0], orders, strategy, mode);
+        ++builds_;
+    }
+    const size_t lanes = xs.size();
+    batch_leaves_.resize(lanes * dim);
+    for (size_t k = 0; k < lanes; ++k)
+        std::copy(xs[k].begin(), xs[k].end(),
+                batch_leaves_.begin() + static_cast<long>(k * dim));
+    const ad::NodeId heads[] = {loss_id_, energy_id_, latency_id_,
+                                penalty_id_};
+    constexpr size_t kHeads = 4;
+    batch_heads_.resize(lanes * kHeads);
+    tape_.replayBatch(batch_leaves_,
+            std::span<const ad::NodeId>(heads, kHeads), batch_heads_);
+    tape_.gradientBatchInto(loss_id_, batch_adj_);
+    ++batch_sweeps_;
+    batch_candidates_ += lanes;
+
+    batch_out_.resize(lanes);
+    for (size_t k = 0; k < lanes; ++k) {
+        ObjectiveEval &ev = batch_out_[k];
+        ev.loss = batch_heads_[k * kHeads + 0];
+        ev.energy_uj = batch_heads_[k * kHeads + 1];
+        ev.latency = batch_heads_[k * kHeads + 2];
+        ev.penalty = batch_heads_[k * kHeads + 3];
+        ev.edp = ev.energy_uj * ev.latency;
+        ev.grad.resize(dim);
+        for (size_t i = 0; i < dim; ++i)
+            ev.grad[i] =
+                    batch_adj_[size_t(tape_.leaf(i)) * lanes + k];
+    }
+    return batch_out_;
+}
+
 ObjectiveEval
 evalObjective(const std::vector<Layer> &layers,
               const std::vector<double> &x,

@@ -39,6 +39,22 @@ struct LatencyQuery
 };
 
 /**
+ * One query per layer over parallel layer/mapping storage — the batch
+ * every searcher hands to `LatencyScorer::scoreDesigns` when scoring
+ * a whole design. The referenced containers must outlive the queries.
+ */
+inline std::vector<LatencyQuery>
+makeLayerQueries(const std::vector<Layer> &layers,
+                 const std::vector<Mapping> &mappings,
+                 const HardwareConfig &hw)
+{
+    std::vector<LatencyQuery> queries(layers.size());
+    for (size_t li = 0; li < layers.size(); ++li)
+        queries[li] = {&layers[li], &mappings[li], &hw};
+    return queries;
+}
+
+/**
  * Concrete-design latency scorer used when ranking rounded mappings.
  * Empty means "reference-model latency" (served through the global
  * EvalCache). Fig. 12 passes a learned predictor here so designs are
@@ -234,11 +250,34 @@ class ObjectiveEngine
                               OrderStrategy strategy,
                               const ObjectiveMode &mode);
 
+    /**
+     * Batched evaluation: value and differentiate every candidate in
+     * `xs` (same layout as eval's x) under one shared context with a
+     * single lane-blocked sweep over the tape (`Tape::replayBatch` +
+     * `gradientBatchInto`) instead of xs.size() scalar replays.
+     * Candidate k of the result is bitwise-identical to
+     * eval(layers, xs[k], ...). Panics on an empty batch.
+     *
+     * @return a reference to engine-owned storage (one ObjectiveEval
+     *         per candidate), valid until the next eval()/evalBatch().
+     */
+    const std::vector<ObjectiveEval> &
+    evalBatch(const std::vector<Layer> &layers,
+              std::span<const std::vector<double>> xs,
+              const std::vector<OrderVec> &orders,
+              OrderStrategy strategy, const ObjectiveMode &mode);
+
     /** Graph (re)constructions served so far. */
     uint64_t builds() const { return builds_; }
 
     /** Replay-path evaluations served so far. */
     uint64_t replays() const { return replays_; }
+
+    /** Batched sweeps served so far. */
+    uint64_t batchSweeps() const { return batch_sweeps_; }
+
+    /** Candidates served through batched sweeps so far. */
+    uint64_t batchCandidates() const { return batch_candidates_; }
 
   private:
     bool contextMatches(const std::vector<Layer> &layers,
@@ -256,6 +295,11 @@ class ObjectiveEngine
     ad::Tape tape_;
     std::vector<double> adj_; ///< reused adjoint buffer
     ObjectiveEval out_;       ///< reused result (grad storage)
+    // Reused batch-path storage (evalBatch).
+    std::vector<double> batch_leaves_;    ///< lane-major leaf sets
+    std::vector<double> batch_heads_;     ///< gathered output values
+    std::vector<double> batch_adj_;       ///< node-major lane adjoints
+    std::vector<ObjectiveEval> batch_out_;
     ad::NodeId loss_id_ = ad::kNoParent;
     ad::NodeId energy_id_ = ad::kNoParent;
     ad::NodeId latency_id_ = ad::kNoParent;
@@ -269,6 +313,8 @@ class ObjectiveEngine
     ObjectiveMode mode_;
     uint64_t builds_ = 0;
     uint64_t replays_ = 0;
+    uint64_t batch_sweeps_ = 0;
+    uint64_t batch_candidates_ = 0;
 };
 
 /**

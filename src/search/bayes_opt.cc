@@ -57,13 +57,20 @@ bayesOptSearch(const std::vector<Layer> &layers, const BayesOptConfig &cfg)
 
     auto evaluate_design = [&](const HardwareConfig &hw,
                                const std::vector<Mapping> &maps) {
+        // With a scorer installed, the design's per-layer latencies
+        // come from one batched scoreDesigns call.
+        std::vector<double> lats(layers.size(), 0.0);
+        if (cfg.scorer)
+            cfg.scorer.scoreDesigns(
+                    makeLayerQueries(layers, maps, hw), lats);
         double e = 0.0, l = 0.0;
         for (size_t li = 0; li < layers.size(); ++li) {
             LayerEval ev = cachedEval(layers[li], maps[li], hw);
+            double lat = cfg.scorer ? lats[li] : ev.latency;
             double cnt = static_cast<double>(layers[li].count);
             e += cnt * ev.energy_uj;
-            l += cnt * ev.latency;
-            double layer_edp = ev.energy_uj * ev.latency;
+            l += cnt * lat;
+            double layer_edp = ev.energy_uj * lat;
             train.add(encodeFeatures(layers[li], maps[li], hw),
                       std::log(std::max(layer_edp, 1e-30)));
         }

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "core/objective.hh"
 #include "search/search_common.hh"
 
 namespace dosa {
@@ -36,6 +37,13 @@ struct BayesOptConfig
      * Results are bit-identical for any value.
      */
     int jobs = 1;
+    /**
+     * Optional predicted-latency scorer for the evaluated designs
+     * (and the GP's log-EDP training targets); each design's layer
+     * latencies go through the batched `scoreDesigns` seam as one
+     * call. Empty = cached reference latency (unchanged behavior).
+     */
+    LatencyScorer scorer;
 };
 
 /** Run BO co-search over the unique layers of a network. */

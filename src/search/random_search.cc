@@ -33,10 +33,12 @@ struct HwOutcome
 /**
  * Sample `samples` random mappings per layer on one hardware design,
  * tracking the incumbent best mapping per layer by per-layer EDP.
+ * With a scorer installed, each sample's per-layer latencies are
+ * served by one batched `scoreDesigns` call.
  */
 HwOutcome
 sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
-               int samples, Rng rng)
+               int samples, Rng rng, const LatencyScorer &scorer)
 {
     HwOutcome out;
     out.hw = hw;
@@ -46,21 +48,33 @@ sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
             std::numeric_limits<double>::infinity());
     std::vector<double> best_energy(layers.size(), 0.0);
     std::vector<double> best_latency(layers.size(), 0.0);
+    std::vector<Mapping> maps(layers.size());
+    std::vector<double> lats(layers.size(), 0.0);
+    // maps elements are assigned in place each sample, so the queries
+    // (pointers into them) are built once and stay valid throughout.
+    const std::vector<LatencyQuery> queries =
+            scorer ? makeLayerQueries(layers, maps, hw)
+                   : std::vector<LatencyQuery>();
 
     for (int s = 0; s < samples; ++s) {
-        // One sample: a fresh mapping per layer.
+        // One sample: a fresh mapping per layer (drawn before any
+        // evaluation; the draw order defines the RNG stream).
+        for (size_t li = 0; li < layers.size(); ++li)
+            maps[li] = randomValidMapping(layers[li], hw, rng);
+        if (scorer)
+            scorer.scoreDesigns(queries, lats);
         for (size_t li = 0; li < layers.size(); ++li) {
-            Mapping m = randomValidMapping(layers[li], hw, rng);
             // Fresh random mappings are almost always unique; scoring
             // them through the EvalCache would only pollute it (see
             // randomValidMapping), so evaluate directly.
-            RefEval ev = referenceEval(layers[li], m, hw);
-            double layer_edp = ev.energy_uj * ev.latency;
+            RefEval ev = referenceEval(layers[li], maps[li], hw);
+            double lat = scorer ? lats[li] : ev.latency;
+            double layer_edp = ev.energy_uj * lat;
             if (layer_edp < best_layer_edp[li]) {
                 best_layer_edp[li] = layer_edp;
-                incumbent[li] = m;
+                incumbent[li] = maps[li];
                 best_energy[li] = ev.energy_uj;
-                best_latency[li] = ev.latency;
+                best_latency[li] = lat;
             }
         }
         // Network EDP with the incumbent per-layer mappings. Not
@@ -98,7 +112,7 @@ randomSearch(const std::vector<Layer> &layers,
         Rng rng = Rng::stream(cfg.seed, h);
         HardwareConfig hw = randomHardware(rng);
         return sampleHardware(layers, hw, cfg.mappings_per_hw,
-                std::move(rng));
+                std::move(rng), cfg.scorer);
     });
 
     // Serial merge in design order (trace convention; strict-< best).
@@ -116,7 +130,7 @@ randomSearch(const std::vector<Layer> &layers,
 SearchResult
 randomMapperSearch(const std::vector<Layer> &layers,
                    const HardwareConfig &hw, int samples, uint64_t seed,
-                   int jobs)
+                   int jobs, const LatencyScorer &scorer)
 {
     SearchResult result;
     ThreadPool pool(jobs);
@@ -148,13 +162,21 @@ randomMapperSearch(const std::vector<Layer> &layers,
             Rng rng = Rng::stream(seed, chunk + i);
             Sample out;
             out.maps.reserve(layers.size());
-            for (const Layer &layer : layers) {
-                Mapping m = randomValidMapping(layer, hw, rng);
-                RefEval ev = referenceEval(layer, m, hw);
-                out.maps.push_back(std::move(m));
-                out.edp.push_back(ev.energy_uj * ev.latency);
+            for (const Layer &layer : layers)
+                out.maps.push_back(randomValidMapping(layer, hw, rng));
+            std::vector<double> lats;
+            if (scorer) {
+                lats.resize(layers.size(), 0.0);
+                scorer.scoreDesigns(
+                        makeLayerQueries(layers, out.maps, hw), lats);
+            }
+            for (size_t li = 0; li < layers.size(); ++li) {
+                RefEval ev = referenceEval(layers[li], out.maps[li],
+                        hw);
+                double lat = scorer ? lats[li] : ev.latency;
+                out.edp.push_back(ev.energy_uj * lat);
                 out.energy.push_back(ev.energy_uj);
-                out.latency.push_back(ev.latency);
+                out.latency.push_back(lat);
             }
             return out;
         });

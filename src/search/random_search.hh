@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/objective.hh"
 #include "search/search_common.hh"
 
 namespace dosa {
@@ -29,6 +30,13 @@ struct RandomSearchConfig
      * for any value.
      */
     int jobs = 1;
+    /**
+     * Optional predicted-latency scorer for sampled designs; each
+     * sample's per-layer latencies go through the batched
+     * `scoreDesigns` seam as one call, so bulk backends see whole
+     * networks. Empty = reference-model latency (unchanged behavior).
+     */
+    LatencyScorer scorer;
 };
 
 /**
@@ -42,11 +50,14 @@ SearchResult randomSearch(const std::vector<Layer> &layers,
  * Fixed-hardware mapping search: `samples` random valid mappings per
  * layer; returns the best mapping per layer by per-layer EDP, plus the
  * resulting network EDP. Each sample draws from its own RNG stream, so
- * results are bit-identical for any `jobs` value.
+ * results are bit-identical for any `jobs` value. An optional scorer
+ * replaces the reference latency (batched per sample through
+ * `scoreDesigns`).
  */
 SearchResult randomMapperSearch(const std::vector<Layer> &layers,
                                 const HardwareConfig &hw, int samples,
-                                uint64_t seed, int jobs = 1);
+                                uint64_t seed, int jobs = 1,
+                                const LatencyScorer &scorer = {});
 
 } // namespace dosa
 
