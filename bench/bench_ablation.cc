@@ -17,7 +17,6 @@
 #include <vector>
 
 #include "bench/common.hh"
-#include "core/dosa_optimizer.hh"
 #include "stats/stats.hh"
 #include "workload/model_zoo.hh"
 
@@ -60,18 +59,21 @@ main(int argc, char **argv)
         for (const Variant &v : variants) {
             std::vector<double> bests;
             for (int run = 0; run < runs; ++run) {
-                DosaConfig cfg;
-                cfg.jobs = scale.jobs;
-                cfg.start_points = v.start_points;
-                cfg.steps_per_start = steps;
-                cfg.round_every = 300;
-                cfg.lr = v.lr;
-                cfg.lr_decay = v.lr_decay;
-                cfg.project_feasible = v.project;
-                cfg.restart_from_best = v.restart_best;
-                cfg.seed = scale.seed + 97 * uint64_t(run);
+                SearchSpec spec;
+                spec.algorithm = "dosa";
+                spec.workload = net.layers;
+                spec.jobs = scale.jobs;
+                spec.options.set("start_points", v.start_points)
+                        .set("steps_per_start", steps)
+                        .set("round_every", 300)
+                        .set("lr", v.lr)
+                        .set("lr_decay", v.lr_decay)
+                        .set("project_feasible", v.project ? 1 : 0)
+                        .set("restart_from_best",
+                                v.restart_best ? 1 : 0);
+                spec.seed = scale.seed + 97 * uint64_t(run);
                 bests.push_back(
-                        dosaSearch(net.layers, cfg).search.best_edp);
+                        runSearch(spec).search.best_edp);
             }
             double g = geomean(bests);
             if (std::string(v.name) == "full (reference)")

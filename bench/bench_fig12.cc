@@ -18,7 +18,6 @@
 
 #include "arch/baselines.hh"
 #include "bench/common.hh"
-#include "core/dosa_optimizer.hh"
 #include "model/reference.hh"
 #include "rtl/gemmini_rtl.hh"
 #include "search/cosa_mapper.hh"
@@ -102,17 +101,19 @@ main(int argc, char **argv)
 
         for (size_t si = 0; si < 3; ++si) {
             const Setup &s = setups[si];
-            DosaConfig cfg;
-            cfg.jobs = scale.jobs;
-            cfg.start_points = starts;
-            cfg.steps_per_start = steps;
-            cfg.round_every = scale.pick(20, 300, 500);
-            cfg.mode.fix_pe = true;
-            cfg.mode.pe_dim = 16;
-            cfg.mode.latency_model = s.diff;
-            cfg.score_latency = s.pred->scorer();
-            cfg.seed = scale.seed + 13 * si;
-            DosaResult r = dosaSearch(net.layers, cfg);
+            SearchSpec spec;
+            spec.algorithm = "dosa";
+            spec.workload = net.layers;
+            spec.jobs = scale.jobs;
+            spec.options.set("start_points", starts)
+                    .set("steps_per_start", steps)
+                    .set("round_every", scale.pick(20, 300, 500));
+            spec.mode.fix_pe = true;
+            spec.mode.pe_dim = 16;
+            spec.mode.latency_model = s.diff;
+            spec.scorer = s.pred->scorer();
+            spec.seed = scale.seed + 13 * si;
+            SearchReport r = runSearch(spec);
 
             double edp = rtlEdp(net.layers, r.search.best_mappings,
                     r.search.best_hw);

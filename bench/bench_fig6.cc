@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "bench/common.hh"
-#include "core/dosa_optimizer.hh"
 #include "stats/stats.hh"
 #include "workload/model_zoo.hh"
 
@@ -49,14 +48,17 @@ main(int argc, char **argv)
             std::vector<double> bests;
             std::vector<std::vector<double>> traces;
             for (int run = 0; run < runs; ++run) {
-                DosaConfig cfg;
-                cfg.jobs = scale.jobs;
-                cfg.start_points = starts;
-                cfg.steps_per_start = steps;
-                cfg.round_every = round_every;
-                cfg.strategy = strat;
-                cfg.seed = scale.seed + 100 * uint64_t(run) + 17;
-                DosaResult r = dosaSearch(net.layers, cfg);
+                SearchSpec spec;
+                spec.algorithm = "dosa";
+                spec.workload = net.layers;
+                spec.jobs = scale.jobs;
+                spec.options.set("start_points", starts)
+                        .set("steps_per_start", steps)
+                        .set("round_every", round_every)
+                        .set("strategy",
+                                static_cast<double>(strat));
+                spec.seed = scale.seed + 100 * uint64_t(run) + 17;
+                SearchReport r = runSearch(spec);
                 bests.push_back(r.search.best_edp);
                 traces.push_back(r.search.trace);
             }

@@ -8,18 +8,21 @@
  * and 12.59x over BB-BO at ~10k samples; BB-BO leads below ~1000
  * samples, then stalls.
  *
+ * Algorithms are dispatched through the `src/api` registry: every
+ * cell is one `runSearch(spec)` call, and `--algos` (validated
+ * against `Search::algorithms()`, "all" = whole registry) selects
+ * which searchers compete under the shared sample budget.
+ *
  * --jobs N fans out over (workload, run, algorithm) cells on the
  * shared ThreadPool; every cell is seeded independently, so the
  * tables are identical for any job count.
  */
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "bench/common.hh"
-#include "core/dosa_optimizer.hh"
-#include "search/bayes_opt.hh"
-#include "search/random_search.hh"
 #include "stats/stats.hh"
 #include "workload/model_zoo.hh"
 
@@ -42,7 +45,8 @@ traceAt(const std::vector<std::vector<double>> &traces, size_t idx)
 int
 main(int argc, char **argv)
 {
-    bench::Scale scale = bench::parseScale(argc, argv);
+    bench::Scale scale =
+            bench::parseScale(argc, argv, /*algo_sweep=*/true);
     bench::banner("Figure 7: DOSA vs Random vs BB-BO co-search",
             scale);
     bench::WallTimer timer;
@@ -53,89 +57,105 @@ main(int argc, char **argv)
     const int round_every = scale.pick(20, 300, 500);
     const int samples = starts * (steps + 1);
 
+    const std::vector<std::string> algos =
+            scale.algosOr({"dosa", "random", "bayesopt"});
+    const size_t n_algos = algos.size();
+
+    // Per-algorithm spec prototype under the shared sample budget:
+    // the per-cell dispatch is one runSearch call against the
+    // registry; a registry entry without options here (e.g. "mapper"
+    // under --algos all) runs on its budget-derived defaults.
+    auto protoSpec = [&](const std::string &algo) {
+        SearchSpec spec;
+        spec.algorithm = algo;
+        spec.budget.max_samples = samples;
+        if (algo == "dosa") {
+            spec.options.set("start_points", starts)
+                    .set("steps_per_start", steps)
+                    .set("round_every", round_every);
+        } else if (algo == "random") {
+            spec.options.set("hw_designs", scale.pick(3, 5, 10));
+        } else if (algo == "bayesopt") {
+            spec.options.set("warmup_samples", scale.pick(5, 20, 60))
+                    .set("total_samples", scale.pick(15, 80, 250))
+                    .set("hw_candidates", scale.pick(2, 4, 8))
+                    .set("map_candidates", scale.pick(4, 8, 16))
+                    .set("max_train_points",
+                            scale.pick(100, 300, 500));
+        }
+        return spec;
+    };
+
     const std::vector<Network> nets = targetWorkloads();
-    const size_t cells = nets.size() * static_cast<size_t>(runs) * 3;
+    const size_t cells =
+            nets.size() * static_cast<size_t>(runs) * n_algos;
 
     // One task per (workload, run, algorithm) cell, each on its own
     // seed; the pool fans the independent cells out over --jobs.
     ThreadPool pool(scale.jobs);
     auto traces = pool.parallelMap(cells, [&](size_t cell) {
-        size_t ni = cell / (static_cast<size_t>(runs) * 3);
-        size_t run = cell / 3 % static_cast<size_t>(runs);
-        size_t alg = cell % 3;
-        const Network &net = nets[ni];
-        uint64_t seed = scale.seed + 1000 * uint64_t(run);
-
-        if (alg == 0) {
-            DosaConfig dcfg;
-            dcfg.start_points = starts;
-            dcfg.steps_per_start = steps;
-            dcfg.round_every = round_every;
-            dcfg.seed = seed;
-            return dosaSearch(net.layers, dcfg).search.trace;
-        }
-        if (alg == 1) {
-            RandomSearchConfig rcfg;
-            rcfg.hw_designs = scale.pick(3, 5, 10);
-            rcfg.mappings_per_hw = samples / rcfg.hw_designs;
-            rcfg.seed = seed;
-            return randomSearch(net.layers, rcfg).trace;
-        }
-        BayesOptConfig bcfg;
-        bcfg.warmup_samples = scale.pick(5, 20, 60);
-        bcfg.total_samples = scale.pick(15, 80, 250);
-        bcfg.hw_candidates = scale.pick(2, 4, 8);
-        bcfg.map_candidates = scale.pick(4, 8, 16);
-        bcfg.max_train_points = scale.pick(100, 300, 500);
-        bcfg.seed = seed;
-        return bayesOptSearch(net.layers, bcfg).trace;
+        size_t ni = cell / (static_cast<size_t>(runs) * n_algos);
+        size_t run = cell / n_algos % static_cast<size_t>(runs);
+        size_t alg = cell % n_algos;
+        SearchSpec spec = protoSpec(algos[alg]);
+        spec.workload = nets[ni].layers;
+        spec.seed = scale.seed + 1000 * uint64_t(run);
+        return runSearch(spec).search.trace;
     });
 
     TablePrinter series({"workload", "algorithm", "samples",
                          "mean best EDP"});
-    TablePrinter finals({"workload", "DOSA", "Random", "BB-BO",
-                         "DOSA/Random", "DOSA/BO"});
-    std::vector<double> ratio_random, ratio_bo;
+    std::vector<std::string> final_cols{"workload"};
+    for (const std::string &algo : algos)
+        final_cols.push_back(algo);
+    for (size_t a = 1; a < n_algos; ++a)
+        final_cols.push_back(algos[a] + "/" + algos[0]);
+    TablePrinter finals(final_cols);
+    // ratios[a][ni] = final EDP of algos[a] / final EDP of algos[0].
+    std::vector<std::vector<double>> ratios(n_algos);
 
     for (size_t ni = 0; ni < nets.size(); ++ni) {
         const Network &net = nets[ni];
-        std::vector<std::vector<double>> tr_dosa, tr_rand, tr_bo;
+        // tr[a] = the per-run traces of algorithm a on this net.
+        std::vector<std::vector<std::vector<double>>> tr(n_algos);
         for (int run = 0; run < runs; ++run) {
             size_t base = (ni * static_cast<size_t>(runs) +
-                    static_cast<size_t>(run)) * 3;
-            tr_dosa.push_back(traces[base]);
-            tr_rand.push_back(traces[base + 1]);
-            tr_bo.push_back(traces[base + 2]);
+                    static_cast<size_t>(run)) * n_algos;
+            for (size_t a = 0; a < n_algos; ++a)
+                tr[a].push_back(traces[base + a]);
         }
 
         for (size_t i = size_t(samples) / 8; i <= size_t(samples);
              i += size_t(samples) / 8) {
-            size_t idx = i - 1;
-            series.addRow({net.name, "DOSA", std::to_string(i),
-                    fmtSci(traceAt(tr_dosa, idx), 3)});
-            series.addRow({net.name, "Random", std::to_string(i),
-                    fmtSci(traceAt(tr_rand, idx), 3)});
-            series.addRow({net.name, "BB-BO", std::to_string(i),
-                    fmtSci(traceAt(tr_bo, idx), 3)});
+            for (size_t a = 0; a < n_algos; ++a)
+                series.addRow({net.name, algos[a], std::to_string(i),
+                        fmtSci(traceAt(tr[a], i - 1), 3)});
         }
 
-        double d = traceAt(tr_dosa, size_t(samples) - 1);
-        double r = traceAt(tr_rand, size_t(samples) - 1);
-        double b = traceAt(tr_bo, tr_bo[0].size() - 1);
-        finals.addRow({net.name, fmtSci(d, 3), fmtSci(r, 3),
-                fmtSci(b, 3), fmt(r / d, 2) + "x",
-                fmt(b / d, 2) + "x"});
-        ratio_random.push_back(r / d);
-        ratio_bo.push_back(b / d);
+        std::vector<std::string> row{net.name};
+        std::vector<double> last(n_algos);
+        for (size_t a = 0; a < n_algos; ++a) {
+            last[a] = traceAt(tr[a], size_t(samples) - 1);
+            row.push_back(fmtSci(last[a], 3));
+        }
+        for (size_t a = 1; a < n_algos; ++a) {
+            row.push_back(fmt(last[a] / last[0], 2) + "x");
+            ratios[a].push_back(last[a] / last[0]);
+        }
+        finals.addRow(row);
     }
 
     std::printf("EDP-vs-samples series:\n");
     series.print();
     std::printf("\nFinal best EDP (mean of %d runs):\n", runs);
     finals.print();
-    std::printf("\nGeomean improvement of DOSA: %.2fx vs random "
-                "(paper 2.80x), %.2fx vs BB-BO (paper 12.59x)\n",
-            geomean(ratio_random), geomean(ratio_bo));
+    for (size_t a = 1; a < n_algos; ++a)
+        std::printf("\nGeomean improvement of %s vs %s: %.2fx",
+                algos[0].c_str(), algos[a].c_str(),
+                geomean(ratios[a]));
+    if (n_algos > 1)
+        std::printf("\n(paper: DOSA 2.80x vs random, 12.59x vs "
+                    "BB-BO at ~10k samples)\n");
     series.writeCsv("bench_fig7_series.csv");
     finals.writeCsv("bench_fig7.csv");
     bench::perfFooter(timer);

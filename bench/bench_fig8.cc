@@ -16,9 +16,8 @@
 
 #include "arch/baselines.hh"
 #include "bench/common.hh"
-#include "core/dosa_optimizer.hh"
+#include "model/reference.hh"
 #include "search/cosa_mapper.hh"
-#include "search/random_search.hh"
 #include "workload/model_zoo.hh"
 
 using namespace dosa;
@@ -39,20 +38,27 @@ main(int argc, char **argv)
                         "normalized to DOSA"});
 
     for (const Network &net : targetWorkloads()) {
-        DosaConfig cfg;
-        cfg.jobs = scale.jobs;
-        cfg.start_points = starts;
-        cfg.steps_per_start = steps;
-        cfg.round_every = scale.pick(20, 300, 500);
-        cfg.seed = scale.seed;
-        DosaResult dosa = dosaSearch(net.layers, cfg);
+        SearchSpec dosa_spec;
+        dosa_spec.algorithm = "dosa";
+        dosa_spec.workload = net.layers;
+        dosa_spec.jobs = scale.jobs;
+        dosa_spec.seed = scale.seed;
+        dosa_spec.options.set("start_points", starts)
+                .set("steps_per_start", steps)
+                .set("round_every", scale.pick(20, 300, 500));
+        SearchReport dosa = runSearch(dosa_spec);
         double dosa_edp = dosa.search.best_edp;
 
         for (const BaselineAccelerator &base : allBaselines()) {
-            // Random-pruned mapper.
-            SearchResult rnd = randomMapperSearch(net.layers,
-                    base.config, mapper_samples, scale.seed,
-                    scale.jobs);
+            // Random-pruned mapper on the baseline's fixed hardware.
+            SearchSpec map_spec;
+            map_spec.algorithm = "mapper";
+            map_spec.workload = net.layers;
+            map_spec.fixed_hw = base.config;
+            map_spec.budget.max_samples = mapper_samples;
+            map_spec.jobs = scale.jobs;
+            map_spec.seed = scale.seed;
+            SearchResult rnd = runSearch(map_spec).search;
             // CoSA-substitute mapper.
             std::vector<Mapping> cosa_maps;
             for (const Layer &l : net.layers)

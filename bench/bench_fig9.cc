@@ -15,10 +15,8 @@
 #include <vector>
 
 #include "bench/common.hh"
-#include "core/dosa_optimizer.hh"
 #include "model/reference.hh"
 #include "search/cosa_mapper.hh"
-#include "search/random_search.hh"
 #include "stats/stats.hh"
 #include "workload/model_zoo.hh"
 
@@ -43,13 +41,15 @@ main(int argc, char **argv)
     for (const Network &net : targetWorkloads()) {
         std::vector<double> e_start, e_cosa, e_rand, e_dosa;
         for (int run = 0; run < gd_runs; ++run) {
-            DosaConfig cfg;
-            cfg.jobs = scale.jobs;
-            cfg.start_points = 1;
-            cfg.steps_per_start = steps;
-            cfg.round_every = scale.pick(20, 300, 500);
-            cfg.seed = scale.seed + 31 * uint64_t(run);
-            DosaResult r = dosaSearch(net.layers, cfg);
+            SearchSpec spec;
+            spec.algorithm = "dosa";
+            spec.workload = net.layers;
+            spec.jobs = scale.jobs;
+            spec.options.set("start_points", 1)
+                    .set("steps_per_start", steps)
+                    .set("round_every", scale.pick(20, 300, 500));
+            spec.seed = scale.seed + 31 * uint64_t(run);
+            SearchReport r = runSearch(spec);
 
             e_start.push_back(r.best_start_edp);
             e_dosa.push_back(r.search.best_edp);
@@ -62,9 +62,14 @@ main(int argc, char **argv)
                     cosa_maps, r.search.best_hw).edp);
 
             // DOSA hardware under a random mapper.
-            e_rand.push_back(randomMapperSearch(net.layers,
-                    r.search.best_hw, random_maps,
-                    cfg.seed, scale.jobs).best_edp);
+            SearchSpec map_spec;
+            map_spec.algorithm = "mapper";
+            map_spec.workload = net.layers;
+            map_spec.fixed_hw = r.search.best_hw;
+            map_spec.budget.max_samples = random_maps;
+            map_spec.jobs = scale.jobs;
+            map_spec.seed = spec.seed;
+            e_rand.push_back(runSearch(map_spec).search.best_edp);
         }
         double g_start = geomean(e_start), g_cosa = geomean(e_cosa);
         double g_rand = geomean(e_rand), g_dosa = geomean(e_dosa);

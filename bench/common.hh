@@ -10,6 +10,10 @@
  *   --jobs N    worker threads for the workload/run fan-out (default 1;
  *               results are bit-identical for any value)
  *   --no-cache  disable the shared evaluation cache (src/exec)
+ *   --algo A / --algos A,B,...  restrict searcher-sweeping benches to
+ *               the named registry algorithms ("all" = every entry of
+ *               Search::algorithms(); unknown names are fatal, as is
+ *               passing the flag to a fixed-algorithm bench)
  * and prints the rows/series the corresponding paper figure reports,
  * mirroring them to CSV files in the working directory.
  */
@@ -19,14 +23,17 @@
 
 #include <chrono>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "api/search_api.hh"
 #include "core/objective.hh"
 #include "exec/eval_cache.hh"
 #include "exec/thread_pool.hh"
 #include "search/cosa_mapper.hh"
 #include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
@@ -40,6 +47,8 @@ struct Scale
     uint64_t seed = 1;
     int jobs = 1;
     bool no_cache = false;
+    /** --algo/--algos selection (validated); empty = bench default. */
+    std::vector<std::string> algos;
 
     /** Pick quick or full value (smoke falls back to quick). */
     template <class T>
@@ -58,10 +67,57 @@ struct Scale
             return smoke_v;
         return full ? full_v : quick_v;
     }
+
+    /** The --algo selection, or the bench's default set if absent. */
+    std::vector<std::string>
+    algosOr(std::initializer_list<const char *> defaults) const
+    {
+        if (!algos.empty())
+            return algos;
+        return {defaults.begin(), defaults.end()};
+    }
 };
 
+/**
+ * Parse `--algo A` / `--algos A,B,...` and validate every name
+ * against the searcher registry; an unknown name is fatal and lists
+ * `Search::algorithms()`. "all" selects the whole registry.
+ */
+inline std::vector<std::string>
+parseAlgos(const Cli &cli)
+{
+    std::string arg = cli.get("algos", cli.get("algo", ""));
+    if (arg.empty())
+        return {};
+    if (arg == "all")
+        return Search::algorithms();
+    std::vector<std::string> names;
+    size_t start = 0;
+    while (start <= arg.size()) {
+        size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        std::string name = arg.substr(start, comma - start);
+        if (!name.empty())
+            names.push_back(std::move(name));
+        start = comma + 1;
+    }
+    for (const std::string &name : names) {
+        if (Search::find(name) == nullptr)
+            fatal("unknown --algo \"" + name + "\" (available: " +
+                  Search::algorithmList() + ")");
+    }
+    return names;
+}
+
+/**
+ * Parse the shared bench flags. `algo_sweep` declares whether this
+ * bench consumes `--algo`/`--algos`; passing the flags to a bench
+ * that runs a fixed algorithm set is a loud error rather than a
+ * validated-then-ignored selection.
+ */
 inline Scale
-parseScale(int argc, const char *const *argv)
+parseScale(int argc, const char *const *argv, bool algo_sweep = false)
 {
     Cli cli(argc, argv);
     Scale s;
@@ -70,6 +126,10 @@ parseScale(int argc, const char *const *argv)
     s.seed = static_cast<uint64_t>(cli.getInt("seed", 1));
     s.jobs = static_cast<int>(cli.getInt("jobs", 1));
     s.no_cache = cli.has("no-cache");
+    s.algos = parseAlgos(cli);
+    if (!algo_sweep && !s.algos.empty())
+        fatal("--algo/--algos: this bench runs a fixed algorithm "
+              "set and does not sweep the registry");
     globalEvalCache().setEnabled(!s.no_cache);
     return s;
 }

@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/dosa_optimizer.hh"
+#include "api/search_api.hh"
 #include "util/table.hh"
 #include "workload/model_zoo.hh"
 
@@ -25,17 +25,19 @@ main()
     TablePrinter table({"strategy", "best EDP (uJ*cycles)",
                         "vs Baseline"});
     double baseline = 0.0;
-    DosaResult best_run;
+    SearchReport best_run;
     for (OrderStrategy strat : {OrderStrategy::Fixed,
                                 OrderStrategy::Iterate,
                                 OrderStrategy::Softmax}) {
-        DosaConfig cfg;
-        cfg.start_points = 4;
-        cfg.steps_per_start = 900;
-        cfg.round_every = 300;
-        cfg.strategy = strat;
-        cfg.seed = 11;
-        DosaResult r = dosaSearch(net.layers, cfg);
+        SearchSpec spec;
+        spec.algorithm = "dosa";
+        spec.workload = net.layers;
+        spec.seed = 11;
+        spec.options.set("start_points", 4)
+                .set("steps_per_start", 900)
+                .set("round_every", 300)
+                .set("strategy", static_cast<double>(strat));
+        SearchReport r = runSearch(spec);
         if (strat == OrderStrategy::Fixed)
             baseline = r.search.best_edp;
         if (strat == OrderStrategy::Iterate)

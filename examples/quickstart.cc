@@ -1,8 +1,10 @@
 /**
  * @file
  * Quickstart: model one convolution layer on a Gemmini-style
- * accelerator, inspect its traffic breakdown, then let DOSA's
- * gradient descent co-optimize the mapping and the minimal hardware.
+ * accelerator, inspect its traffic breakdown, then run the search
+ * facade (`SearchSpec` -> `runSearch` with a streaming observer) to
+ * co-optimize the mapping and the minimal hardware with DOSA's
+ * gradient descent.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -11,14 +13,36 @@
 
 #include <cstdio>
 
+#include "api/search_api.hh"
 #include "arch/baselines.hh"
-#include "core/dosa_optimizer.hh"
 #include "model/reference.hh"
 #include "search/cosa_mapper.hh"
 #include "util/table.hh"
 #include "workload/layer.hh"
 
 using namespace dosa;
+
+namespace {
+
+/** Stream search progress: phases and every best-EDP improvement. */
+class ProgressObserver : public SearchObserver
+{
+  public:
+    void
+    onPhase(const char *phase) override
+    {
+        std::printf("  [phase] %s\n", phase);
+    }
+
+    void
+    onImprovement(const SampleEvent &event) override
+    {
+        std::printf("  [sample %5zu] best EDP -> %.3g\n",
+                event.index + 1, event.best_edp);
+    }
+};
+
+} // namespace
 
 int
 main()
@@ -58,14 +82,24 @@ main()
                 "EDP: %.3g uJ*cycles\n\n", ev.latency, ev.energy_uj,
             ev.edp);
 
-    // 3. One-loop co-search: let gradient descent find better tiling
-    //    factors and infer the minimal hardware that supports them.
-    DosaConfig cfg;
-    cfg.start_points = 3;
-    cfg.steps_per_start = 900;
-    cfg.round_every = 300;
-    cfg.seed = 1;
-    DosaResult result = dosaSearch({layer}, cfg);
+    // 3. One-loop co-search through the search facade: pick the
+    //    "dosa" algorithm from the registry, stream progress with an
+    //    observer, and let gradient descent find better tiling
+    //    factors plus the minimal hardware that supports them.
+    std::printf("Registered search algorithms:");
+    for (const std::string &name : Search::algorithms())
+        std::printf(" %s", name.c_str());
+    std::printf("\n\n");
+
+    SearchSpec spec;
+    spec.algorithm = "dosa";
+    spec.workload = {layer};
+    spec.seed = 1;
+    spec.options.set("start_points", 3)
+            .set("steps_per_start", 900)
+            .set("round_every", 300);
+    ProgressObserver progress;
+    SearchReport result = runSearch(spec, &progress);
 
     std::printf("DOSA co-search (%zu model evaluations):\n",
             result.search.trace.size());

@@ -11,8 +11,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/search_api.hh"
 #include "arch/baselines.hh"
-#include "core/dosa_optimizer.hh"
 #include "model/reference.hh"
 #include "search/cosa_mapper.hh"
 #include "util/table.hh"
@@ -28,13 +28,16 @@ main()
             net.name.c_str(), net.layers.size(),
             net.totalMacs() / 1e9);
 
-    DosaConfig cfg;
-    cfg.start_points = 5;
-    cfg.steps_per_start = 1490;
-    cfg.round_every = 300;
-    cfg.strategy = OrderStrategy::Iterate;
-    cfg.seed = 7;
-    DosaResult result = dosaSearch(net.layers, cfg);
+    SearchSpec spec;
+    spec.algorithm = "dosa";
+    spec.workload = net.layers;
+    spec.seed = 7;
+    spec.options.set("start_points", 5)
+            .set("steps_per_start", 1490)
+            .set("round_every", 300)
+            .set("strategy",
+                    static_cast<double>(OrderStrategy::Iterate));
+    SearchReport result = runSearch(spec);
 
     std::printf("\nDOSA result after %zu model evaluations:\n",
             result.search.trace.size());

@@ -10,8 +10,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/search_api.hh"
 #include "arch/baselines.hh"
-#include "core/dosa_optimizer.hh"
 #include "model/reference.hh"
 #include "rtl/gemmini_rtl.hh"
 #include "search/cosa_mapper.hh"
@@ -64,18 +64,20 @@ main()
     //    the loop (PE array frozen at 16x16 as in Fig. 12).
     Network net = unet();
     SurrogateDiffModel diff(combined);
-    DosaConfig cfg;
-    cfg.start_points = 4;
-    cfg.steps_per_start = 900;
-    cfg.round_every = 300;
-    cfg.mode.fix_pe = true;
-    cfg.mode.pe_dim = 16;
-    cfg.mode.latency_model = &diff;
-    cfg.score_latency = combined.scorer();
-    cfg.seed = 21;
+    SearchSpec spec;
+    spec.algorithm = "dosa";
+    spec.workload = net.layers;
+    spec.options.set("start_points", 4)
+            .set("steps_per_start", 900)
+            .set("round_every", 300);
+    spec.mode.fix_pe = true;
+    spec.mode.pe_dim = 16;
+    spec.mode.latency_model = &diff;
+    spec.scorer = combined.scorer();
+    spec.seed = 21;
     std::printf("Running DOSA with the DNN-augmented model on %s...\n",
             net.name.c_str());
-    DosaResult r = dosaSearch(net.layers, cfg);
+    SearchReport r = runSearch(spec);
 
     // 4. Validate on the RTL substitute against the default design.
     HardwareConfig def = gemminiDefault().config;

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SearchObserver: the streaming contract of the `src/api` facade.
+ *
+ * `runSearch(spec, observer)` delivers every recorded sample, every
+ * strict improvement of the best-so-far EDP and every searcher
+ * lifecycle phase, replacing post-hoc scraping of
+ * `SearchResult::trace` (which is still produced). Delivery follows
+ * the searcher's recording structure: the serial searchers
+ * ("mapper", "bayesopt") record — and therefore stream — each
+ * sample as it is computed, while the parallel searchers ("dosa",
+ * "random") compute their samples across worker threads and record
+ * them in the deterministic serial merge, so their events arrive in
+ * trace order but deferred until each merge runs.
+ *
+ * Returning false from `onSample` cancels the run cooperatively:
+ * recording stops within one sample (the final trace length equals
+ * the number of `onSample` calls) and compute stops at the
+ * searcher's next poll. For the parallel searchers, cancellation
+ * raised during the merge therefore trims the output, not the
+ * already-finished parallel work — bound their *work* with the
+ * budget (`max_samples` derives their natural run length) or the
+ * deadline instead.
+ */
+
+#ifndef DOSA_API_OBSERVER_HH
+#define DOSA_API_OBSERVER_HH
+
+#include <cstddef>
+
+namespace dosa {
+
+/** One recorded sample, streamed in trace order. */
+struct SampleEvent
+{
+    /** 0-based sample index == position in `SearchResult::trace`. */
+    size_t index = 0;
+    /** This sample's network EDP (+inf = invalid/rejected design). */
+    double edp = 0.0;
+    /** Best EDP seen up to and including this sample. */
+    double best_edp = 0.0;
+    /** Whether this sample strictly improved the best-so-far EDP. */
+    bool improved = false;
+};
+
+/**
+ * Streaming callbacks for one `runSearch` call. All callbacks are
+ * invoked from the serial sections of the searcher (sample merges
+ * run in trace order), never concurrently; a long-running callback
+ * therefore stalls only the merge, not the parallel evaluation.
+ * Default implementations ignore every event, so observers override
+ * only what they need.
+ */
+class SearchObserver
+{
+  public:
+    virtual ~SearchObserver() = default;
+
+    /**
+     * A searcher lifecycle phase began. The driver brackets every run
+     * with "setup" and "done"; the searcher announces its own interior
+     * phases (DOSA: "starts", "descent", "merge"; random: "sampling",
+     * "merge"; BO: "warmup", "guided").
+     */
+    virtual void
+    onPhase(const char *phase)
+    {
+        (void)phase;
+    }
+
+    /**
+     * One sample was recorded. Return false to cancel the search
+     * cooperatively (it stops within one sample).
+     */
+    virtual bool
+    onSample(const SampleEvent &event)
+    {
+        (void)event;
+        return true;
+    }
+
+    /** The best-so-far EDP strictly improved at this sample. */
+    virtual void
+    onImprovement(const SampleEvent &event)
+    {
+        (void)event;
+    }
+};
+
+} // namespace dosa
+
+#endif // DOSA_API_OBSERVER_HH

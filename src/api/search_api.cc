@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Facade driver: searcher registry storage, spec validation and the
+ * `runSearch` lifecycle (cache policy, SearchControl installation,
+ * observer bridging).
+ */
+#include "api/search_api.hh"
+
+#include <algorithm>
+#include <mutex>
+
+#include "exec/eval_cache.hh"
+#include "util/logging.hh"
+
+namespace dosa {
+
+namespace {
+
+std::vector<const Searcher *> &
+registryStorage()
+{
+    static std::vector<const Searcher *> registry;
+    return registry;
+}
+
+/** Registration order is deterministic; guard only against races. */
+std::mutex &
+registryMutex()
+{
+    static std::mutex mtx;
+    return mtx;
+}
+
+void
+ensureBuiltins()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { detail::registerBuiltinSearchers(); });
+}
+
+/** Reject option keys the chosen searcher does not consume. */
+void
+validateOptions(const SearchSpec &spec, const Searcher &searcher)
+{
+    const std::vector<std::string_view> known = searcher.optionKeys();
+    for (const std::string &key : spec.options.keys()) {
+        if (std::find(known.begin(), known.end(), key) != known.end())
+            continue;
+        std::string valid;
+        for (std::string_view k : known) {
+            if (!valid.empty())
+                valid += ", ";
+            valid += k;
+        }
+        fatal("unknown option \"" + key + "\" for search algorithm \"" +
+              searcher.name() + "\" (valid: " + valid + ")");
+    }
+}
+
+/** Scoped eval-cache policy: applies the spec's mode, restores after. */
+class CacheModeGuard
+{
+  public:
+    explicit CacheModeGuard(CacheMode mode)
+        : restore_(globalEvalCache().enabled()),
+          active_(mode != CacheMode::Inherit)
+    {
+        if (active_)
+            globalEvalCache().setEnabled(mode == CacheMode::Enabled);
+    }
+
+    ~CacheModeGuard()
+    {
+        if (active_)
+            globalEvalCache().setEnabled(restore_);
+    }
+
+  private:
+    bool restore_;
+    bool active_;
+};
+
+} // namespace
+
+void
+detail::appendSearcher(const Searcher *searcher)
+{
+    if (searcher == nullptr || searcher->name() == nullptr ||
+        searcher->name()[0] == '\0')
+        panic("Search::registerSearcher: null searcher or empty name");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registryStorage().push_back(searcher);
+}
+
+void
+Search::registerSearcher(const Searcher *searcher)
+{
+    // Bootstrap the builtins first so this registration lands after
+    // them: latest-wins shadowing holds no matter when a caller
+    // registers relative to the first find()/algorithms() call.
+    ensureBuiltins();
+    detail::appendSearcher(searcher);
+}
+
+const Searcher *
+Search::find(std::string_view name)
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    const std::vector<const Searcher *> &registry = registryStorage();
+    // Latest registration wins, so tests/backends can shadow a name.
+    for (auto it = registry.rbegin(); it != registry.rend(); ++it)
+        if (name == (*it)->name())
+            return *it;
+    return nullptr;
+}
+
+std::vector<std::string>
+Search::algorithms()
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    for (const Searcher *searcher : registryStorage()) {
+        std::string name = searcher->name();
+        if (std::find(names.begin(), names.end(), name) == names.end())
+            names.push_back(std::move(name));
+    }
+    return names;
+}
+
+std::string
+Search::algorithmList()
+{
+    std::string out;
+    for (const std::string &name : algorithms()) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+SearchReport
+runSearch(const SearchSpec &spec, SearchObserver *observer)
+{
+    const Searcher *searcher = Search::find(spec.algorithm);
+    if (searcher == nullptr)
+        fatal("unknown search algorithm \"" + spec.algorithm +
+              "\" (available: " + Search::algorithmList() + ")");
+    validateOptions(spec, *searcher);
+    if (spec.workload.empty())
+        fatal("search spec has an empty workload");
+    if (spec.budget.max_samples < 0 || spec.budget.deadline_s < 0.0)
+        fatal("search budget limits must be non-negative");
+
+    CacheModeGuard cache_guard(spec.cache);
+
+    // Bridge the observer onto the cooperative run control the
+    // searchers poll; without an observer the control still enforces
+    // the budget and deadline.
+    SearchControl::SampleFn on_sample;
+    SearchControl::PhaseFn on_phase;
+    if (observer != nullptr) {
+        on_sample = [observer](size_t count, double edp,
+                               double best_edp, bool improved) {
+            SampleEvent event{count - 1, edp, best_edp, improved};
+            bool keep_going = observer->onSample(event);
+            if (improved)
+                observer->onImprovement(event);
+            return keep_going;
+        };
+        on_phase = [observer](const char *phase) {
+            observer->onPhase(phase);
+        };
+    }
+    SearchControl control(
+            static_cast<size_t>(spec.budget.max_samples),
+            spec.budget.deadline_s, std::move(on_sample),
+            std::move(on_phase));
+
+    control.phase("setup");
+    SearchReport report = searcher->run(spec, &control);
+    control.phase("done");
+    // The result leaves the driver's scope; the control dies here.
+    report.search.control = nullptr;
+    return report;
+}
+
+} // namespace dosa

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The public entry point of the search subsystem: build a
+ * `SearchSpec`, pick a registered algorithm, call `runSearch`, and
+ * optionally stream progress through a `SearchObserver`.
+ *
+ * Typical use:
+ * @code
+ *   SearchSpec spec;
+ *   spec.algorithm = "dosa";            // any Search::algorithms()
+ *   spec.workload = resnet50().layers;
+ *   spec.budget.max_samples = 10000;    // unified sample budget
+ *   spec.seed = 7;
+ *   SearchReport report = runSearch(spec);
+ * @endcode
+ *
+ * The legacy free functions (`dosaSearch`, `randomSearch`,
+ * `randomMapperSearch`, `bayesOptSearch`) are thin compat shims over
+ * this facade and produce bitwise-identical results (the
+ * `tests/golden/` fixtures pin that equivalence).
+ */
+
+#ifndef DOSA_API_SEARCH_API_HH
+#define DOSA_API_SEARCH_API_HH
+
+#include "api/observer.hh"
+#include "api/search_spec.hh"
+#include "api/searcher.hh"
+
+namespace dosa {
+
+/**
+ * Run the search described by `spec` with the registered algorithm
+ * `spec.algorithm`, streaming progress to `observer` (optional).
+ *
+ * The driver validates the spec (unknown algorithm or option keys
+ * are fatal configuration errors listing the valid choices), applies
+ * the cache policy for the duration of the run, installs a
+ * `SearchControl` carrying the budget/deadline and the observer
+ * bridge, and dispatches to the registered searcher (which
+ * pre-reserves the result trace from its planned sample count).
+ * For a fixed spec the result is bit-identical for any `spec.jobs`
+ * value and for the presence/absence of an observer.
+ */
+SearchReport runSearch(const SearchSpec &spec,
+                       SearchObserver *observer = nullptr);
+
+} // namespace dosa
+
+#endif // DOSA_API_SEARCH_API_HH

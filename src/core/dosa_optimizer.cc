@@ -336,6 +336,7 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
 {
     constexpr double kInf = std::numeric_limits<double>::infinity();
     StartOutcome out;
+    out.samples.reserve(static_cast<size_t>(cfg.steps_per_start) + 1);
     std::vector<Mapping> mappings = std::move(start.mappings);
     std::vector<OrderVec> orders = std::move(start.orders);
     std::vector<double> x = std::move(start.x);
@@ -378,6 +379,11 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
     // until the next eval/evalBatch call.
     const ObjectiveEval *carried = nullptr;
     for (int step = 1; step <= cfg.steps_per_start; ++step) {
+        // Cooperative cancellation/deadline poll, once per descent
+        // step (each step is a full tape replay over the network, so
+        // the clock read is noise).
+        if (cfg.control != nullptr && cfg.control->stopRequested())
+            break;
         const ObjectiveEval &ev = carried
                 ? *carried
                 : engine.eval(layers, x, orders, cfg.strategy,
@@ -472,15 +478,21 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
 } // namespace
 
 DosaResult
-dosaSearch(const std::vector<Layer> &layers, const DosaConfig &cfg)
+detail::dosaSearchImpl(const std::vector<Layer> &layers,
+                       const DosaConfig &cfg)
 {
     constexpr double kInf = std::numeric_limits<double>::infinity();
     DosaResult result;
     result.best_start_edp = kInf;
+    result.search.control = cfg.control;
 
     ThreadPool pool(cfg.jobs);
     const size_t num_starts = static_cast<size_t>(cfg.start_points);
     const int tries = std::max(1, cfg.max_start_tries);
+    result.search.reserveTrace(num_starts *
+            (static_cast<size_t>(cfg.steps_per_start) + 1));
+    if (cfg.control != nullptr)
+        cfg.control->phase("starts");
 
     // ---- Phase 1 (parallel): candidate attempts per start point.
     // Start sp draws from its own stream (cfg.seed, sp), so attempts
@@ -531,6 +543,8 @@ dosaSearch(const std::vector<Layer> &layers, const DosaConfig &cfg)
     }
 
     // ---- Phase 3 (parallel): gradient descent per start point.
+    if (cfg.control != nullptr)
+        cfg.control->phase("descent");
     auto outcomes = pool.parallelMap(starts.size(), [&](size_t sp) {
         return runStartPoint(layers, cfg, std::move(starts[sp]));
     });
@@ -540,17 +554,21 @@ dosaSearch(const std::vector<Layer> &layers, const DosaConfig &cfg)
     // sample-order convention) byte for byte; the best-design check
     // runs before this start's samples so strict-< tie-breaking
     // matches the serial stream.
+    if (cfg.control != nullptr)
+        cfg.control->phase("merge");
     for (const StartOutcome &o : outcomes) {
+        // Hard stop only: a deadline hit during descent must not
+        // discard the samples the starts already computed.
+        if (cfg.control != nullptr && cfg.control->recordingStopped())
+            break;
         if (o.start_valid && o.start_edp < result.best_start_edp) {
             result.best_start_edp = o.start_edp;
             result.best_start_hw = o.start_hw;
         }
-        if (o.best_edp < result.search.best_edp) {
-            result.search.best_hw = o.best_hw;
-            result.search.best_mappings = o.best_mappings;
-        }
-        for (double s : o.samples)
-            result.search.record(s);
+        // mergeOutcome keeps the serial-stream strict-< tie-breaking
+        // and the design/trace consistency contract under hard stops.
+        result.search.mergeOutcome(o.samples, o.best_edp, o.best_hw,
+                o.best_mappings);
     }
     return result;
 }

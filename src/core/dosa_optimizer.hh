@@ -73,6 +73,13 @@ struct DosaConfig
     bool project_feasible = true;
     /** Restart each segment from the best rounded design so far. */
     bool restart_from_best = true;
+
+    /**
+     * Cooperative run control (cancellation, deadline, sample budget,
+     * streaming callbacks), installed by the `src/api` driver — leave
+     * null when calling the searcher directly. Not owned.
+     */
+    SearchControl *control = nullptr;
 };
 
 /** DOSA run outcome. */
@@ -85,9 +92,27 @@ struct DosaResult
     HardwareConfig best_start_hw;
 };
 
-/** Run the one-loop gradient-descent co-search. */
+/**
+ * Run the one-loop gradient-descent co-search.
+ *
+ * Compat shim over the `src/api` facade: builds a `SearchSpec` for
+ * the registered "dosa" searcher and dispatches through `runSearch`,
+ * so this call and the facade are bitwise-identical by construction
+ * (the golden-trace fixtures pin it).
+ */
 DosaResult dosaSearch(const std::vector<Layer> &layers,
                       const DosaConfig &cfg);
+
+namespace detail {
+
+/**
+ * Canonical DOSA implementation behind the facade; honors
+ * `cfg.control`. Call `dosaSearch` or `runSearch` instead.
+ */
+DosaResult dosaSearchImpl(const std::vector<Layer> &layers,
+                          const DosaConfig &cfg);
+
+} // namespace detail
 
 /**
  * Greedy per-layer uniform-ordering selection on concrete mappings

@@ -42,10 +42,13 @@ struct TrainSet
 } // namespace
 
 SearchResult
-bayesOptSearch(const std::vector<Layer> &layers, const BayesOptConfig &cfg)
+detail::bayesOptSearchImpl(const std::vector<Layer> &layers,
+                           const BayesOptConfig &cfg)
 {
     Rng rng(cfg.seed);
     SearchResult result;
+    result.control = cfg.control;
+    result.reserveTrace(static_cast<size_t>(cfg.total_samples));
     ThreadPool pool(cfg.jobs);
     TrainSet train(static_cast<size_t>(cfg.max_train_points));
     GpParams gp_params;
@@ -75,15 +78,19 @@ bayesOptSearch(const std::vector<Layer> &layers, const BayesOptConfig &cfg)
                       std::log(std::max(layer_edp, 1e-30)));
         }
         double edp = e * l;
-        if (edp < result.best_edp) {
-            result.best_hw = hw;
-            result.best_mappings = maps;
-        }
-        result.record(edp);
+        result.mergeOutcome(std::span<const double>(&edp, 1), edp, hw,
+                maps);
         return edp;
     };
 
+    if (cfg.control != nullptr)
+        cfg.control->phase("warmup");
     for (int sample = 0; sample < cfg.total_samples; ++sample) {
+        // Cooperative cancellation/deadline poll, once per sample.
+        if (cfg.control != nullptr && cfg.control->stopRequested())
+            break;
+        if (cfg.control != nullptr && sample == cfg.warmup_samples)
+            cfg.control->phase("guided");
         HardwareConfig hw;
         std::vector<Mapping> maps(layers.size());
 

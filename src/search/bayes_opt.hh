@@ -44,11 +44,33 @@ struct BayesOptConfig
      * call. Empty = cached reference latency (unchanged behavior).
      */
     LatencyScorer scorer;
+    /**
+     * Cooperative run control (cancellation, deadline, sample budget,
+     * streaming callbacks), installed by the `src/api` driver — leave
+     * null when calling the searcher directly. Not owned.
+     */
+    SearchControl *control = nullptr;
 };
 
-/** Run BO co-search over the unique layers of a network. */
+/**
+ * Run BO co-search over the unique layers of a network.
+ *
+ * Compat shim over the `src/api` facade: dispatches through the
+ * registered "bayesopt" searcher, bitwise-identical by construction.
+ */
 SearchResult bayesOptSearch(const std::vector<Layer> &layers,
                             const BayesOptConfig &cfg);
+
+namespace detail {
+
+/**
+ * Canonical BO implementation behind the facade; honors
+ * `cfg.control`. Call `bayesOptSearch` or `runSearch` instead.
+ */
+SearchResult bayesOptSearchImpl(const std::vector<Layer> &layers,
+                                const BayesOptConfig &cfg);
+
+} // namespace detail
 
 } // namespace dosa
 

@@ -38,7 +38,8 @@ struct HwOutcome
  */
 HwOutcome
 sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
-               int samples, Rng rng, const LatencyScorer &scorer)
+               int samples, Rng rng, const LatencyScorer &scorer,
+               const SearchControl *control)
 {
     HwOutcome out;
     out.hw = hw;
@@ -57,6 +58,9 @@ sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
                    : std::vector<LatencyQuery>();
 
     for (int s = 0; s < samples; ++s) {
+        // Cooperative cancellation/deadline poll, once per sample.
+        if (control != nullptr && control->stopRequested())
+            break;
         // One sample: a fresh mapping per layer (drawn before any
         // evaluation; the draw order defines the RNG stream).
         for (size_t li = 0; li < layers.size(); ++li)
@@ -99,41 +103,55 @@ sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
 } // namespace
 
 SearchResult
-randomSearch(const std::vector<Layer> &layers,
-             const RandomSearchConfig &cfg)
+detail::randomSearchImpl(const std::vector<Layer> &layers,
+                         const RandomSearchConfig &cfg)
 {
     SearchResult result;
+    result.control = cfg.control;
+    result.reserveTrace(static_cast<size_t>(cfg.hw_designs) *
+            static_cast<size_t>(cfg.mappings_per_hw));
     ThreadPool pool(cfg.jobs);
 
     // Hardware design h draws everything (its own config plus all of
     // its mapping samples) from stream (seed, h).
+    if (cfg.control != nullptr)
+        cfg.control->phase("sampling");
     auto outcomes = pool.parallelMap(
             static_cast<size_t>(cfg.hw_designs), [&](size_t h) {
         Rng rng = Rng::stream(cfg.seed, h);
         HardwareConfig hw = randomHardware(rng);
         return sampleHardware(layers, hw, cfg.mappings_per_hw,
-                std::move(rng), cfg.scorer);
+                std::move(rng), cfg.scorer, cfg.control);
     });
 
-    // Serial merge in design order (trace convention; strict-< best).
+    // Serial merge in design order (trace convention; mergeOutcome
+    // keeps strict-< tie-breaking and design/trace consistency).
+    if (cfg.control != nullptr)
+        cfg.control->phase("merge");
     for (const HwOutcome &o : outcomes) {
-        if (o.best_edp < result.best_edp) {
-            result.best_hw = o.hw;
-            result.best_mappings = o.best;
-        }
-        for (double edp : o.sample_edp)
-            result.record(edp);
+        // Hard stop only: a deadline hit during the fan-out must not
+        // discard the samples the designs already computed.
+        if (cfg.control != nullptr &&
+            cfg.control->recordingStopped())
+            break;
+        result.mergeOutcome(o.sample_edp, o.best_edp, o.hw, o.best);
     }
     return result;
 }
 
 SearchResult
-randomMapperSearch(const std::vector<Layer> &layers,
-                   const HardwareConfig &hw, int samples, uint64_t seed,
-                   int jobs, const LatencyScorer &scorer)
+detail::randomMapperSearchImpl(const std::vector<Layer> &layers,
+                               const HardwareConfig &hw, int samples,
+                               uint64_t seed, int jobs,
+                               const LatencyScorer &scorer,
+                               SearchControl *control)
 {
     SearchResult result;
+    result.control = control;
+    result.reserveTrace(static_cast<size_t>(samples));
     ThreadPool pool(jobs);
+    if (control != nullptr)
+        control->phase("sampling");
 
     /** One sample: a mapping per layer plus its evaluation. */
     struct Sample
@@ -156,6 +174,8 @@ randomMapperSearch(const std::vector<Layer> &layers,
 
     for (size_t chunk = 0; chunk < static_cast<size_t>(samples);
          chunk += kChunk) {
+        if (control != nullptr && control->stopRequested())
+            break;
         size_t n = std::min(kChunk,
                 static_cast<size_t>(samples) - chunk);
         auto drawn = pool.parallelMap(n, [&](size_t i) {
@@ -181,8 +201,11 @@ randomMapperSearch(const std::vector<Layer> &layers,
             return out;
         });
 
-        // Serial incumbent reduction in sample order.
+        // Serial incumbent reduction in sample order (hard stop
+        // only: computed samples survive an expired deadline).
         for (Sample &sample : drawn) {
+            if (control != nullptr && control->recordingStopped())
+                break;
             for (size_t li = 0; li < layers.size(); ++li) {
                 if (sample.edp[li] < best_layer_edp[li]) {
                     best_layer_edp[li] = sample.edp[li];
@@ -198,11 +221,8 @@ randomMapperSearch(const std::vector<Layer> &layers,
                 l += cnt * best_latency[li];
             }
             double edp = e * l;
-            if (edp < result.best_edp) {
-                result.best_hw = hw;
-                result.best_mappings = best;
-            }
-            result.record(edp);
+            result.mergeOutcome(std::span<const double>(&edp, 1),
+                    edp, hw, best);
         }
     }
     return result;

@@ -37,11 +37,20 @@ struct RandomSearchConfig
      * networks. Empty = reference-model latency (unchanged behavior).
      */
     LatencyScorer scorer;
+    /**
+     * Cooperative run control (cancellation, deadline, sample budget,
+     * streaming callbacks), installed by the `src/api` driver — leave
+     * null when calling the searcher directly. Not owned.
+     */
+    SearchControl *control = nullptr;
 };
 
 /**
  * Run random hardware+mapping co-search over the unique layers of a
  * network. One sample = one mapping per layer on one hardware design.
+ *
+ * Compat shim over the `src/api` facade: dispatches through the
+ * registered "random" searcher, bitwise-identical by construction.
  */
 SearchResult randomSearch(const std::vector<Layer> &layers,
                           const RandomSearchConfig &cfg);
@@ -53,11 +62,36 @@ SearchResult randomSearch(const std::vector<Layer> &layers,
  * results are bit-identical for any `jobs` value. An optional scorer
  * replaces the reference latency (batched per sample through
  * `scoreDesigns`).
+ *
+ * Compat shim over the `src/api` facade: dispatches through the
+ * registered "mapper" searcher, bitwise-identical by construction.
  */
 SearchResult randomMapperSearch(const std::vector<Layer> &layers,
                                 const HardwareConfig &hw, int samples,
                                 uint64_t seed, int jobs = 1,
                                 const LatencyScorer &scorer = {});
+
+namespace detail {
+
+/**
+ * Canonical random co-search implementation behind the facade;
+ * honors `cfg.control`. Call `randomSearch` or `runSearch` instead.
+ */
+SearchResult randomSearchImpl(const std::vector<Layer> &layers,
+                              const RandomSearchConfig &cfg);
+
+/**
+ * Canonical fixed-hardware mapper implementation behind the facade;
+ * honors `control`. Call `randomMapperSearch` or `runSearch` instead.
+ */
+SearchResult randomMapperSearchImpl(const std::vector<Layer> &layers,
+                                    const HardwareConfig &hw,
+                                    int samples, uint64_t seed,
+                                    int jobs,
+                                    const LatencyScorer &scorer,
+                                    SearchControl *control);
+
+} // namespace detail
 
 } // namespace dosa
 

@@ -4,6 +4,7 @@
  */
 #include "search/search_common.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "model/reference.hh"
@@ -14,9 +15,51 @@ namespace dosa {
 void
 SearchResult::record(double edp)
 {
-    if (edp < best_edp)
+    // Samples after a hard stop (cancellation / exhausted budget)
+    // are dropped so the trace and the observer sample count end at
+    // the trigger; an expired deadline only stops compute, so
+    // already-computed samples still land here.
+    if (control != nullptr && control->recordingStopped())
+        return;
+    bool improved = edp < best_edp;
+    if (improved)
         best_edp = edp;
     trace.push_back(best_edp);
+    if (control != nullptr)
+        control->onRecord(edp, best_edp, improved);
+}
+
+void
+SearchResult::mergeOutcome(std::span<const double> samples,
+                           double unit_best_edp,
+                           const HardwareConfig &hw,
+                           const std::vector<Mapping> &mappings)
+{
+    double before = best_edp;
+    for (double edp : samples)
+        record(edp);
+    if (best_edp == before)
+        return; // no recorded improvement; keep the current design
+    if (unit_best_edp < before && best_edp == unit_best_edp) {
+        best_hw = hw;
+        best_mappings = mappings;
+    } else {
+        // The recorded best improved past the installed design, but
+        // the improving sample's design was not the unit's winner
+        // (a hard stop dropped the winning sample mid-unit) — clear
+        // the stale design instead of pairing it with a best_edp it
+        // does not score.
+        best_hw = HardwareConfig{};
+        best_mappings.clear();
+    }
+}
+
+void
+SearchResult::reserveTrace(size_t planned)
+{
+    if (control != nullptr && control->maxSamples() != 0)
+        planned = std::min(planned, control->maxSamples());
+    trace.reserve(planned);
 }
 
 HardwareConfig

@@ -13,7 +13,11 @@
 #ifndef DOSA_SEARCH_SEARCH_COMMON_HH
 #define DOSA_SEARCH_SEARCH_COMMON_HH
 
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "arch/hardware_config.hh"
@@ -24,6 +28,145 @@
 
 namespace dosa {
 
+/**
+ * Cooperative run control shared between a search driver and the
+ * searcher implementations. The `src/api` facade installs one per
+ * `runSearch` call; the searchers thread it through
+ * `SearchResult::record` (sample accounting + streaming callbacks)
+ * and poll `stopRequested()` at their natural work boundaries (one
+ * descent step, one sampled design).
+ *
+ * Two stop severities keep early stops lossless:
+ *
+ * - A *hard* stop (observer cancellation, sample budget exhausted,
+ *   `requestStop()`) ends both compute and recording: the trace ends
+ *   within one sample of the trigger.
+ * - The *deadline* ends compute only. Samples already computed when
+ *   it expires are still recorded, so a deadline that fires during a
+ *   parallel phase (DOSA descent, random-search fan-out) returns the
+ *   best design found so far instead of discarding the finished
+ *   work.
+ *
+ * Thread contract: `stopRequested()` / `requestStop()` / `samples()`
+ * may be called from any worker thread; `onRecord()` and `phase()`
+ * are only ever called from the serial sections of a searcher (trace
+ * merges run in sample order), so the callbacks observe samples in
+ * trace order.
+ */
+class SearchControl
+{
+  public:
+    /**
+     * Streaming sample callback: (1-based running sample count, this
+     * sample's EDP, best-so-far EDP, whether this sample strictly
+     * improved the best). Return false to cancel the search.
+     */
+    using SampleFn = std::function<bool(size_t, double, double, bool)>;
+    /** Searcher lifecycle callback ("starts", "descent", ...). */
+    using PhaseFn = std::function<void(const char *)>;
+
+    /** Control with no budget, no deadline and no callbacks. */
+    SearchControl() = default;
+
+    /**
+     * @param max_samples Hard cap on recorded samples (0 = none).
+     * @param deadline_s  Wall-clock deadline in seconds from now
+     *                    (0 = none), enforced cooperatively.
+     * @param on_sample   Optional per-sample streaming callback.
+     * @param on_phase    Optional lifecycle callback.
+     */
+    SearchControl(size_t max_samples, double deadline_s,
+                  SampleFn on_sample = {}, PhaseFn on_phase = {})
+        : max_samples_(max_samples), on_sample_(std::move(on_sample)),
+          on_phase_(std::move(on_phase))
+    {
+        if (deadline_s > 0.0) {
+            has_deadline_ = true;
+            deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(deadline_s));
+        }
+    }
+
+    /** Request a hard stop (callable from any thread). */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * Compute gate: true once hard-stopped or past the deadline.
+     * Searcher work loops poll this before producing more samples.
+     */
+    bool
+    stopRequested() const
+    {
+        if (stop_.load(std::memory_order_relaxed))
+            return true;
+        if (deadline_hit_.load(std::memory_order_relaxed))
+            return true;
+        if (has_deadline_ &&
+            std::chrono::steady_clock::now() >= deadline_) {
+            deadline_hit_.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Recording gate: true only on a hard stop. `record()` keeps
+     * accepting already-computed samples past the deadline so the
+     * trace reflects the work actually done.
+     */
+    bool
+    recordingStopped() const
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+    /** Samples recorded so far (== trace length of the live run). */
+    size_t
+    samples() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+
+    /** Sample-budget cap (0 = unbounded). */
+    size_t maxSamples() const { return max_samples_; }
+
+    /**
+     * Account one recorded sample and fire the streaming callback;
+     * called by `SearchResult::record` from the serial merge path.
+     * Requests a stop when the callback cancels or the sample budget
+     * is exhausted.
+     */
+    void
+    onRecord(double edp, double best_edp, bool improved)
+    {
+        size_t n = samples_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (on_sample_ && !on_sample_(n, edp, best_edp, improved))
+            requestStop();
+        if (max_samples_ != 0 && n >= max_samples_)
+            requestStop();
+    }
+
+    /** Announce a searcher lifecycle phase. */
+    void
+    phase(const char *name)
+    {
+        if (on_phase_)
+            on_phase_(name);
+    }
+
+  private:
+    std::atomic<bool> stop_{false};
+    mutable std::atomic<bool> deadline_hit_{false};
+    std::atomic<size_t> samples_{0};
+    size_t max_samples_ = 0;
+    bool has_deadline_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+    SampleFn on_sample_;
+    PhaseFn on_phase_;
+};
+
 /** Outcome of a co-search run. */
 struct SearchResult
 {
@@ -32,9 +175,43 @@ struct SearchResult
     std::vector<Mapping> best_mappings;
     /** trace[i] = best EDP seen after i+1 samples. */
     std::vector<double> trace;
+    /**
+     * Cooperative run control installed by the `src/api` driver
+     * (null when a searcher runs standalone). Not owned. Every
+     * `record()` reports through it, and samples recorded after a
+     * hard stop (cancellation / exhausted sample budget) are
+     * dropped, so such a trace ends within one sample of the
+     * trigger; samples computed before an expired deadline are
+     * still recorded.
+     */
+    SearchControl *control = nullptr;
 
     /** Record a sample, maintaining the monotone best-so-far trace. */
     void record(double edp);
+
+    /**
+     * Merge one work unit's outcome — its samples in stream order
+     * plus the best design it found (`unit_best_edp`, `hw`,
+     * `mappings`) — maintaining the consistency contract: an
+     * installed design always scores exactly `best_edp`. The design
+     * is installed only if the unit's winning sample actually landed
+     * in the trace; if a hard stop dropped that sample after other
+     * recorded samples already improved past the previously
+     * installed design, the stale design is cleared rather than
+     * reported. For full (unstopped) merges this is bitwise-
+     * identical to the historical pre-record strict-< install.
+     */
+    void mergeOutcome(std::span<const double> samples,
+                      double unit_best_edp, const HardwareConfig &hw,
+                      const std::vector<Mapping> &mappings);
+
+    /**
+     * Pre-reserve trace capacity for a planned sample count (capped
+     * by the control's sample budget when one is installed), so
+     * multi-100k-sample runs do not grow the trace one push_back at
+     * a time.
+     */
+    void reserveTrace(size_t planned);
 };
 
 /** Random hardware design point (log-uniform over the design ranges). */

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Unit tests of the `src/api` search facade: registry round-trips,
+ * bitwise facade-vs-legacy equivalence against the checked-in golden
+ * fixtures, the observer streaming contract (sample accounting,
+ * improvement events, phases), cooperative cancellation and deadline
+ * enforcement, budget-derived option defaults, trace pre-reservation
+ * and serial==parallel determinism through `runSearch`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/search_api.hh"
+#include "core/dosa_optimizer.hh"
+#include "model/reference.hh"
+#include "search/bayes_opt.hh"
+#include "search/random_search.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+namespace {
+
+/** The canonical two-layer workload of the golden-trace fixtures. */
+std::vector<Layer>
+goldenLayers()
+{
+    return {
+        Layer::gemm("a", 128, 64, 256),
+        Layer::conv("b", 3, 16, 32, 64),
+    };
+}
+
+/** Minimal reader of the tests/golden/ fixture format. */
+struct Golden
+{
+    std::vector<double> trace;
+    double best_edp = 0.0;
+    long long pe_dim = 0, accum_kib = 0, spad_kib = 0;
+};
+
+void
+readGolden(const std::string &name, Golden &g)
+{
+    const std::string path =
+            std::string(DOSA_SOURCE_DIR) + "/tests/golden/" + name +
+            ".trace";
+    FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr) << "missing fixture " << path;
+    char line[256];
+    size_t n = 0;
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr); // comment
+    ASSERT_EQ(std::fscanf(f, "trace %zu\n", &n), 1);
+    g.trace.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+        g.trace[i] = std::strtod(line, nullptr);
+    }
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    g.best_edp = std::strtod(line + std::strlen("best_edp "), nullptr);
+    ASSERT_EQ(std::fscanf(f, "best_hw %lld %lld %lld", &g.pe_dim,
+                      &g.accum_kib, &g.spad_kib),
+            3);
+    std::fclose(f);
+}
+
+/** Exact-compare a facade run against a golden fixture. */
+void
+expectMatchesGolden(const std::string &name, const SearchResult &r)
+{
+    Golden g;
+    readGolden(name, g);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    ASSERT_EQ(r.trace.size(), g.trace.size()) << name;
+    size_t mismatches = 0;
+    for (size_t i = 0; i < g.trace.size(); ++i)
+        if (r.trace[i] != g.trace[i] &&
+            !(std::isnan(r.trace[i]) && std::isnan(g.trace[i])))
+            ++mismatches;
+    EXPECT_EQ(mismatches, 0u) << name << ": facade trace drifted";
+    EXPECT_EQ(r.best_edp, g.best_edp) << name;
+    EXPECT_EQ(r.best_hw.pe_dim, g.pe_dim) << name;
+    EXPECT_EQ(r.best_hw.accum_kib, g.accum_kib) << name;
+    EXPECT_EQ(r.best_hw.spad_kib, g.spad_kib) << name;
+}
+
+// ---- The facade specs equivalent to the golden fixture configs.
+
+SearchSpec
+goldenDosaSpec()
+{
+    SearchSpec spec;
+    spec.algorithm = "dosa";
+    spec.workload = goldenLayers();
+    spec.seed = 5;
+    spec.options.set("start_points", 3)
+            .set("steps_per_start", 30)
+            .set("round_every", 15);
+    return spec;
+}
+
+SearchSpec
+goldenRandomSpec()
+{
+    SearchSpec spec;
+    spec.algorithm = "random";
+    spec.workload = goldenLayers();
+    spec.seed = 3;
+    spec.options.set("hw_designs", 4).set("mappings_per_hw", 30);
+    return spec;
+}
+
+SearchSpec
+goldenMapperSpec()
+{
+    SearchSpec spec;
+    spec.algorithm = "mapper";
+    spec.workload = goldenLayers();
+    spec.seed = 17;
+    spec.options.set("samples", 40);
+    return spec;
+}
+
+SearchSpec
+goldenBayesOptSpec()
+{
+    SearchSpec spec;
+    spec.algorithm = "bayesopt";
+    spec.workload = goldenLayers();
+    spec.seed = 21;
+    spec.options.set("warmup_samples", 6)
+            .set("total_samples", 14)
+            .set("hw_candidates", 3)
+            .set("map_candidates", 4);
+    return spec;
+}
+
+TEST(ApiRegistry, ListsAllBuiltinAlgorithms)
+{
+    std::vector<std::string> algos = Search::algorithms();
+    for (const char *name : {"dosa", "random", "mapper", "bayesopt"})
+        EXPECT_NE(std::find(algos.begin(), algos.end(), name),
+                algos.end())
+                << name << " missing from the registry";
+}
+
+TEST(ApiRegistry, FindRoundTripsEveryRegisteredName)
+{
+    for (const std::string &name : Search::algorithms()) {
+        const Searcher *searcher = Search::find(name);
+        ASSERT_NE(searcher, nullptr) << name;
+        EXPECT_EQ(name, searcher->name());
+        EXPECT_NE(searcher->description()[0], '\0') << name;
+    }
+}
+
+TEST(ApiRegistry, UnknownNameIsNull)
+{
+    EXPECT_EQ(Search::find("no-such-searcher"), nullptr);
+}
+
+/** Minimal custom searcher for the registration tests. */
+class StubSearcher : public Searcher
+{
+  public:
+    explicit StubSearcher(const char *desc) : desc_(desc) {}
+
+    const char *name() const override { return "stub-algo"; }
+    const char *description() const override { return desc_; }
+
+    std::vector<std::string_view> optionKeys() const override
+    {
+        return {};
+    }
+
+    size_t plannedSamples(const SearchSpec &) const override
+    {
+        return 1;
+    }
+
+    SearchReport run(const SearchSpec &, SearchControl *) const override
+    {
+        return {};
+    }
+
+  private:
+    const char *desc_;
+};
+
+TEST(ApiRegistry, CustomRegistrationAndLatestWinsShadowing)
+{
+    static const StubSearcher first("first");
+    Search::registerSearcher(&first);
+    EXPECT_EQ(Search::find("stub-algo"), &first);
+    std::vector<std::string> algos = Search::algorithms();
+    EXPECT_NE(std::find(algos.begin(), algos.end(), "stub-algo"),
+            algos.end());
+    // "stub-algo" appears once in the list even after shadowing.
+    static const StubSearcher second("second");
+    Search::registerSearcher(&second);
+    EXPECT_EQ(Search::find("stub-algo"), &second);
+    algos = Search::algorithms();
+    EXPECT_EQ(std::count(algos.begin(), algos.end(), "stub-algo"), 1);
+    // The builtins are never displaced by unrelated registrations.
+    EXPECT_NE(Search::find("dosa"), nullptr);
+}
+
+// Facade ≡ legacy bitwise: the fixtures were generated through the
+// legacy free functions; running the equivalent SearchSpec through
+// runSearch must reproduce them exactly.
+
+TEST(ApiGoldenEquivalence, Dosa)
+{
+    expectMatchesGolden("dosa", runSearch(goldenDosaSpec()).search);
+}
+
+TEST(ApiGoldenEquivalence, Random)
+{
+    expectMatchesGolden("random",
+            runSearch(goldenRandomSpec()).search);
+}
+
+TEST(ApiGoldenEquivalence, Mapper)
+{
+    expectMatchesGolden("mapper",
+            runSearch(goldenMapperSpec()).search);
+}
+
+TEST(ApiGoldenEquivalence, BayesOpt)
+{
+    expectMatchesGolden("bayesopt",
+            runSearch(goldenBayesOptSpec()).search);
+}
+
+/** Observer counting every event for the accounting tests. */
+class CountingObserver : public SearchObserver
+{
+  public:
+    size_t samples = 0;
+    size_t improvements = 0;
+    std::vector<std::string> phases;
+    double last_best = std::numeric_limits<double>::infinity();
+
+    void
+    onPhase(const char *phase) override
+    {
+        phases.emplace_back(phase);
+    }
+
+    bool
+    onSample(const SampleEvent &event) override
+    {
+        EXPECT_EQ(event.index, samples);
+        ++samples;
+        last_best = event.best_edp;
+        return true;
+    }
+
+    void
+    onImprovement(const SampleEvent &event) override
+    {
+        EXPECT_TRUE(event.improved);
+        ++improvements;
+    }
+};
+
+TEST(ApiObserver, SampleCountEqualsTraceLengthForEveryAlgorithm)
+{
+    for (const SearchSpec &spec :
+         {goldenDosaSpec(), goldenRandomSpec(), goldenMapperSpec(),
+          goldenBayesOptSpec()}) {
+        CountingObserver obs;
+        SearchReport report = runSearch(spec, &obs);
+        EXPECT_EQ(obs.samples, report.search.trace.size())
+                << spec.algorithm;
+        if (!report.search.trace.empty()) {
+            EXPECT_EQ(obs.last_best, report.search.trace.back())
+                    << spec.algorithm;
+        }
+
+        // Improvement events == strict decreases of the trace.
+        size_t expected = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (double v : report.search.trace) {
+            if (v < best) {
+                best = v;
+                ++expected;
+            }
+        }
+        EXPECT_EQ(obs.improvements, expected) << spec.algorithm;
+    }
+}
+
+TEST(ApiObserver, PhasesBracketTheRun)
+{
+    CountingObserver obs;
+    runSearch(goldenDosaSpec(), &obs);
+    ASSERT_GE(obs.phases.size(), 2u);
+    EXPECT_EQ(obs.phases.front(), "setup");
+    EXPECT_EQ(obs.phases.back(), "done");
+    // The DOSA searcher announces its interior phases in order.
+    std::vector<std::string> expected{"setup", "starts", "descent",
+                                      "merge", "done"};
+    EXPECT_EQ(obs.phases, expected);
+}
+
+TEST(ApiObserver, PresenceDoesNotPerturbResults)
+{
+    SearchReport plain = runSearch(goldenRandomSpec());
+    CountingObserver obs;
+    SearchReport observed = runSearch(goldenRandomSpec(), &obs);
+    EXPECT_EQ(plain.search.trace, observed.search.trace);
+    EXPECT_EQ(plain.search.best_edp, observed.search.best_edp);
+}
+
+/** Observer cancelling after a fixed number of samples. */
+class CancellingObserver : public SearchObserver
+{
+  public:
+    explicit CancellingObserver(size_t limit) : limit_(limit) {}
+
+    size_t samples = 0;
+
+    bool
+    onSample(const SampleEvent &event) override
+    {
+        (void)event;
+        ++samples;
+        return samples < limit_;
+    }
+
+  private:
+    size_t limit_;
+};
+
+TEST(ApiCancellation, StopsWithinOneSample)
+{
+    // Serial run: the trace must end exactly at the cancelled sample.
+    SearchSpec spec = goldenRandomSpec();
+    spec.jobs = 1;
+    CancellingObserver obs(5);
+    SearchReport report = runSearch(spec, &obs);
+    EXPECT_EQ(obs.samples, 5u);
+    EXPECT_EQ(report.search.trace.size(), 5u);
+}
+
+TEST(ApiCancellation, WorksForEveryAlgorithm)
+{
+    for (const SearchSpec &base :
+         {goldenDosaSpec(), goldenRandomSpec(), goldenMapperSpec(),
+          goldenBayesOptSpec()}) {
+        SearchSpec spec = base;
+        CancellingObserver obs(3);
+        SearchReport report = runSearch(spec, &obs);
+        EXPECT_EQ(report.search.trace.size(), 3u) << spec.algorithm;
+        // A cancelled run's best design stays consistent with its
+        // truncated trace: the reported best_edp is the trace
+        // minimum, never a dropped post-cancellation sample's.
+        if (!report.search.trace.empty()) {
+            EXPECT_EQ(report.search.best_edp,
+                    report.search.trace.back())
+                    << spec.algorithm;
+        }
+    }
+}
+
+TEST(ApiCancellation, InstalledDesignAlwaysScoresBestEdp)
+{
+    // Property over cancellation points spanning all four merge
+    // units (30 samples per hardware design): wherever the cancel
+    // lands — including mid-unit, where a partially merged design's
+    // winning sample is dropped — a non-empty best design must score
+    // exactly the reported best_edp, and a stale design from an
+    // earlier unit must never be paired with a later unit's better
+    // best_edp.
+    std::vector<Layer> layers = goldenLayers();
+    for (size_t k : {size_t(1), size_t(15), size_t(31), size_t(45),
+                     size_t(61), size_t(75), size_t(91),
+                     size_t(105)}) {
+        SearchSpec spec = goldenRandomSpec();
+        CancellingObserver obs(k);
+        SearchReport report = runSearch(spec, &obs);
+        ASSERT_EQ(report.search.trace.size(), k);
+        EXPECT_EQ(report.search.best_edp, report.search.trace.back());
+        if (!report.search.best_mappings.empty()) {
+            EXPECT_EQ(referenceNetworkEval(layers,
+                              report.search.best_mappings,
+                              report.search.best_hw)
+                              .edp,
+                    report.search.best_edp)
+                    << "cancel at " << k;
+        }
+    }
+}
+
+TEST(ApiBudget, SampleCapTruncatesAndReserves)
+{
+    SearchSpec spec = goldenMapperSpec();
+    spec.budget.max_samples = 10; // below the 40 requested samples
+    SearchReport report = runSearch(spec);
+    EXPECT_EQ(report.search.trace.size(), 10u);
+    // The cap also bounds the pre-reservation.
+    EXPECT_LE(report.search.trace.capacity(), 40u);
+}
+
+TEST(ApiBudget, DerivesNaturalLengthsFromMaxSamples)
+{
+    // random: mappings_per_hw = max_samples / hw_designs.
+    SearchSpec spec;
+    spec.algorithm = "random";
+    spec.workload = goldenLayers();
+    spec.seed = 3;
+    spec.budget.max_samples = 40;
+    spec.options.set("hw_designs", 4);
+    EXPECT_EQ(Search::find("random")->plannedSamples(spec), 40u);
+    SearchReport report = runSearch(spec);
+    EXPECT_EQ(report.search.trace.size(), 40u);
+
+    // dosa: steps_per_start = max_samples / start_points - 1.
+    SearchSpec dspec;
+    dspec.algorithm = "dosa";
+    dspec.workload = goldenLayers();
+    dspec.budget.max_samples = 60;
+    dspec.options.set("start_points", 3).set("round_every", 10);
+    EXPECT_EQ(Search::find("dosa")->plannedSamples(dspec), 60u);
+
+    // bayesopt: total_samples = max_samples.
+    SearchSpec bspec = goldenBayesOptSpec();
+    bspec.budget.max_samples = 9;
+    bspec.options = OptionBag{};
+    bspec.options.set("warmup_samples", 6);
+    EXPECT_EQ(Search::find("bayesopt")->plannedSamples(bspec), 9u);
+}
+
+TEST(ApiDeadline, ExpiredDeadlineStopsTheRunEarly)
+{
+    SearchSpec spec = goldenMapperSpec();
+    spec.options.set("samples", 100000);
+    spec.budget.deadline_s = 1e-9; // expired by the first poll
+    SearchReport report = runSearch(spec);
+    EXPECT_LT(report.search.trace.size(), 100000u);
+}
+
+TEST(ApiDeadline, ComputedSamplesSurviveTheDeadline)
+{
+    // Deadline expired before the first descent step: every start
+    // still scores its concrete start point, descent is skipped, and
+    // the merge must record those computed samples (a deadline stops
+    // compute, it must not discard finished work) with a best design
+    // consistent with the trace.
+    SearchSpec spec = goldenDosaSpec();
+    spec.budget.deadline_s = 1e-9;
+    SearchReport report = runSearch(spec);
+    ASSERT_EQ(report.search.trace.size(), 3u); // one per start point
+    EXPECT_EQ(report.search.best_edp, report.search.trace.back());
+    ASSERT_TRUE(std::isfinite(report.search.best_edp));
+    EXPECT_FALSE(report.search.best_mappings.empty());
+}
+
+TEST(ApiDeterminism, SerialEqualsParallelForEveryAlgorithm)
+{
+    for (const SearchSpec &base :
+         {goldenDosaSpec(), goldenRandomSpec(), goldenMapperSpec(),
+          goldenBayesOptSpec()}) {
+        SearchSpec serial = base;
+        serial.jobs = 1;
+        SearchSpec parallel = base;
+        parallel.jobs = 3;
+        SearchReport a = runSearch(serial);
+        SearchReport b = runSearch(parallel);
+        EXPECT_EQ(a.search.trace, b.search.trace) << base.algorithm;
+        EXPECT_EQ(a.search.best_edp, b.search.best_edp)
+                << base.algorithm;
+        EXPECT_EQ(a.search.best_hw.pe_dim, b.search.best_hw.pe_dim)
+                << base.algorithm;
+    }
+}
+
+TEST(ApiSpecValidation, OptionBagRoundTrips)
+{
+    OptionBag bag;
+    bag.set("a", 1.5).set("b", 2);
+    EXPECT_TRUE(bag.has("a"));
+    EXPECT_FALSE(bag.has("c"));
+    EXPECT_EQ(bag.get("a", 0.0), 1.5);
+    EXPECT_EQ(bag.getInt("b", 0), 2);
+    EXPECT_EQ(bag.getInt("c", 7), 7);
+    EXPECT_EQ(bag.keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ApiDeathTest, UnknownAlgorithmIsFatalAndListsRegistry)
+{
+    SearchSpec spec;
+    spec.algorithm = "no-such-searcher";
+    spec.workload = goldenLayers();
+    EXPECT_EXIT(runSearch(spec), ::testing::ExitedWithCode(1),
+            "unknown search algorithm.*dosa");
+}
+
+TEST(ApiDeathTest, UnknownOptionKeyIsFatal)
+{
+    SearchSpec spec = goldenRandomSpec();
+    spec.options.set("steps_per_start", 10); // a dosa key, not random
+    EXPECT_EXIT(runSearch(spec), ::testing::ExitedWithCode(1),
+            "unknown option.*steps_per_start.*random");
+}
+
+TEST(ApiDeathTest, EmptyWorkloadIsFatal)
+{
+    SearchSpec spec;
+    spec.algorithm = "random";
+    EXPECT_EXIT(runSearch(spec), ::testing::ExitedWithCode(1),
+            "empty workload");
+}
+
+} // namespace
+} // namespace dosa
