@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Search-service smoke/throughput bench: one `SearchService` behind a
+ * `TcpServer`, hammered end-to-end by N concurrent TCP clients that
+ * stream searches over the line-framed wire protocol.
+ *
+ * Each client pings, then runs its share of searches (the golden
+ * two-layer workload under the "mapper" searcher, seeded per request,
+ * so every reply stream is deterministic); the bench verifies every
+ * terminal `done` frame, summarizes per-request latency, prints the
+ * standard perf footer plus the service's per-endpoint stats footer,
+ * and appends one JSON trajectory line to BENCH_service.json in the
+ * working directory (the per-commit trail the perf-smoke CI job
+ * uploads).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "service/search_service.hh"
+#include "service/tcp_server.hh"
+#include "service/wire.hh"
+#include "stats/stats.hh"
+#include "util/json.hh"
+
+using namespace dosa;
+
+namespace {
+
+/** The golden-fixture workload (tests/golden/): two layers. */
+std::vector<Layer>
+benchLayers()
+{
+    return {
+        Layer::gemm("a", 128, 64, 256),
+        Layer::conv("b", 3, 16, 32, 64),
+    };
+}
+
+struct ClientResult
+{
+    std::vector<double> search_s; ///< per-search request latency
+    size_t frames = 0;            ///< reply frames received
+    size_t failures = 0;          ///< protocol/stream failures
+};
+
+/** One client's session: connect, ping, run `searches` searches. */
+ClientResult
+runClient(uint16_t port, int client, int searches, int samples,
+          uint64_t seed)
+{
+    ClientResult result;
+    service::TcpClient tcp;
+    std::string error;
+    if (!tcp.connect("127.0.0.1", port, error)) {
+        std::fprintf(stderr, "client %d: %s\n", client, error.c_str());
+        result.failures = size_t(searches) + 1;
+        return result;
+    }
+
+    std::string line;
+    const std::string tag = "c" + std::to_string(client);
+    if (!tcp.sendLine(service::encodePingRequest(tag)) ||
+            !tcp.receiveLine(line))
+        ++result.failures;
+    else
+        ++result.frames;
+
+    for (int i = 0; i < searches; ++i) {
+        SearchSpec spec;
+        spec.algorithm = "mapper";
+        spec.workload = benchLayers();
+        spec.seed = seed + uint64_t(client) * 1000 + uint64_t(i);
+        spec.options.set("samples", samples);
+
+        const std::string id = tag + "." + std::to_string(i);
+        bench::WallTimer req_timer;
+        if (!tcp.sendLine(service::encodeSearchRequest(id, spec))) {
+            ++result.failures;
+            continue;
+        }
+        bool terminal = false;
+        while (!terminal && tcp.receiveLine(line)) {
+            ++result.frames;
+            service::Frame frame;
+            if (!service::decodeFrame(line, frame, error)) {
+                ++result.failures;
+                break;
+            }
+            if (frame.kind == service::Frame::Kind::Error) {
+                ++result.failures;
+                terminal = true;
+            } else if (frame.kind == service::Frame::Kind::Done) {
+                terminal = true;
+                if (frame.id != id ||
+                        frame.samples != uint64_t(samples))
+                    ++result.failures;
+            }
+        }
+        if (!terminal)
+            ++result.failures;
+        else
+            result.search_s.push_back(req_timer.seconds());
+    }
+    tcp.close();
+    return result;
+}
+
+/** Append one canonical-JSON trajectory line to BENCH_service.json. */
+void
+appendTrajectory(const char *mode, int clients, int searches,
+                 int samples, double wall_s, const Summary &lat,
+                 double frames_per_s)
+{
+    json::Value row = json::Value::object();
+    row.set("bench", json::Value::string("service"));
+    row.set("mode", json::Value::string(mode));
+    row.set("unix_time",
+            json::Value::number(int64_t(std::time(nullptr))));
+    row.set("clients", json::Value::number(int64_t(clients)));
+    row.set("searches_per_client",
+            json::Value::number(int64_t(searches)));
+    row.set("samples_per_search",
+            json::Value::number(int64_t(samples)));
+    row.set("wall_s", json::Value::number(wall_s));
+    row.set("search_p50_s", json::Value::number(lat.p50));
+    row.set("search_p99_s", json::Value::number(lat.p99));
+    row.set("search_mean_s", json::Value::number(lat.mean));
+    row.set("frames_per_s", json::Value::number(frames_per_s));
+
+    FILE *f = std::fopen("BENCH_service.json", "a");
+    if (!f) {
+        warn("cannot append to BENCH_service.json");
+        return;
+    }
+    std::fprintf(f, "%s\n", row.dump().c_str());
+    std::fclose(f);
+    bench::note("trajectory appended to BENCH_service.json");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Scale scale = bench::parseScale(argc, argv);
+    bench::banner("Search service: TCP end-to-end throughput", scale);
+    bench::WallTimer timer;
+
+    const int clients = scale.pick(2, 4, 8);
+    const int searches = scale.pick(2, 4, 8); // per client
+    const int samples = scale.pick(40, 200, 2000);
+
+    service::ServiceConfig config;
+    config.max_concurrent = scale.jobs < 1 ? 1 : scale.jobs;
+    config.max_queue = clients * searches;
+    service::SearchService svc(config);
+    service::TcpServer server(svc, 0);
+    std::string error;
+    if (!server.start(error))
+        fatal("tcp server: " + error);
+    std::printf("listening on 127.0.0.1:%u, workers: %d\n",
+            unsigned(server.port()), config.max_concurrent);
+
+    std::vector<ClientResult> results;
+    results.resize(size_t(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(size_t(clients));
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            results[size_t(c)] = runClient(server.port(), c,
+                    searches, samples, scale.seed);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    const double wall_s = timer.seconds();
+
+    std::vector<double> search_s;
+    size_t frames = 0, failures = 0;
+    for (const ClientResult &r : results) {
+        search_s.insert(search_s.end(), r.search_s.begin(),
+                r.search_s.end());
+        frames += r.frames;
+        failures += r.failures;
+    }
+    if (failures != 0)
+        fatal("service bench: " + std::to_string(failures) +
+              " request(s) failed");
+
+    const Summary lat = Summary::of(search_s);
+    const double frames_per_s =
+            wall_s > 0.0 ? double(frames) / wall_s : 0.0;
+    std::printf("\n%d clients x %d searches x %d samples: "
+                "%zu frames, %.0f frames/s\n",
+            clients, searches, samples, frames, frames_per_s);
+    std::printf("search latency: %s\n", lat.str().c_str());
+
+    // Endpoint-stats footer: the service's own operational counters.
+    std::printf("\nendpoint stats:\n");
+    for (const service::EndpointStats &ep : svc.stats())
+        std::printf("  %s\n", ep.str().c_str());
+
+    server.stop();
+    svc.shutdown();
+
+    bench::perfFooter(timer);
+    appendTrajectory(bench::modeName(scale), clients, searches,
+            samples, wall_s, lat, frames_per_s);
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Streaming client for the search-service daemon: submit one search
+ * over TCP and print the reply stream as it arrives — phases, every
+ * best-EDP improvement, and the final design.
+ *
+ * Build & run (against a running `search_service_daemon`):
+ *   ./build/search_service_client --port 7450 --algo mapper --samples 200
+ *
+ * Flags:
+ *   --host H      daemon address (default 127.0.0.1)
+ *   --port N      daemon port (required)
+ *   --algo A      registered algorithm (default "mapper")
+ *   --samples N   unified sample budget (default 200)
+ *   --seed N      RNG seed (default 1)
+ *   --spec FILE   read a full canonical SearchSpec JSON instead of
+ *                 the built-in demo workload (see specToJson)
+ *   --stats       also query the per-endpoint stats afterwards
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/spec_json.hh"
+#include "service/tcp_server.hh"
+#include "service/wire.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "workload/layer.hh"
+
+using namespace dosa;
+
+namespace {
+
+/** The demo workload: the golden-fixture GEMM + conv pair. */
+SearchSpec
+demoSpec(const Cli &cli)
+{
+    SearchSpec spec;
+    spec.algorithm = cli.get("algo", "mapper");
+    spec.workload = {
+        Layer::gemm("a", 128, 64, 256),
+        Layer::conv("b", 3, 16, 32, 64),
+    };
+    spec.seed = uint64_t(cli.getInt("seed", 1));
+    spec.budget.max_samples = int(cli.getInt("samples", 200));
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const std::string host = cli.get("host", "127.0.0.1");
+    const uint16_t port = uint16_t(cli.getInt("port", 0));
+    if (port == 0)
+        fatal("--port is required (the daemon prints its port)");
+
+    SearchSpec spec;
+    const std::string spec_path = cli.get("spec", "");
+    if (!spec_path.empty()) {
+        std::ifstream in(spec_path);
+        if (!in)
+            fatal("cannot read --spec file \"" + spec_path + "\"");
+        std::ostringstream text;
+        text << in.rdbuf();
+        spec = mustSpecFromJson(text.str());
+    } else {
+        spec = demoSpec(cli);
+    }
+
+    service::TcpClient client;
+    std::string error;
+    if (!client.connect(host, port, error))
+        fatal("connect: " + error);
+
+    if (!client.sendLine(service::encodeSearchRequest("cli", spec)))
+        fatal("send failed");
+
+    std::string line;
+    bool finished = false;
+    while (!finished && client.receiveLine(line)) {
+        service::Frame frame;
+        if (!service::decodeFrame(line, frame, error))
+            fatal("bad frame \"" + line + "\": " + error);
+        switch (frame.kind) {
+          case service::Frame::Kind::Phase:
+            std::printf("[phase] %s\n", frame.phase.c_str());
+            break;
+          case service::Frame::Kind::Improvement:
+            std::printf("[sample %5zu] best EDP -> %.6g\n",
+                    frame.sample.index + 1, frame.sample.best_edp);
+            break;
+          case service::Frame::Kind::Sample:
+            break; // per-sample frames are noise at CLI verbosity
+          case service::Frame::Kind::Error:
+            fatal("server error (" + frame.code + "): " +
+                  frame.message);
+          case service::Frame::Kind::Done:
+            std::printf("\ndone: %llu samples, best EDP %.6g\n",
+                    static_cast<unsigned long long>(frame.samples),
+                    frame.best_edp);
+            std::printf("best hardware: %s\n",
+                    frame.best_hw.str().c_str());
+            finished = true;
+            break;
+          default:
+            fatal("unexpected frame: " + line);
+        }
+    }
+    if (!finished)
+        fatal("connection closed before the terminal frame");
+
+    if (cli.has("stats")) {
+        if (!client.sendLine(service::encodeStatsRequest("cli-s")) ||
+                !client.receiveLine(line))
+            fatal("stats request failed");
+        service::Frame frame;
+        if (!service::decodeFrame(line, frame, error) ||
+                frame.kind != service::Frame::Kind::Stats)
+            fatal("bad stats reply: " + line);
+        std::printf("\n%s %s endpoint stats:\n",
+                frame.service_name.c_str(),
+                frame.service_version.c_str());
+        for (const service::EndpointStats &ep : frame.endpoints)
+            std::printf("  %s\n", ep.str().c_str());
+    }
+    client.close();
+    return 0;
+}

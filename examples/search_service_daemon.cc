@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Search-as-a-service daemon: serve the `src/api` search facade over
+ * the line-framed TCP wire protocol (src/service).
+ *
+ * Build & run:
+ *   cmake -B build && cmake --build build --target search_service_daemon
+ *   ./build/search_service_daemon --port 7450 --workers 2
+ *
+ * Flags:
+ *   --port N     TCP port on 127.0.0.1 (default 0 = ephemeral; the
+ *                chosen port is printed on startup)
+ *   --workers N  concurrent searches (default 2)
+ *   --queue N    admission-queue depth beyond the running searches
+ *                (default 16; overflow gets a `queue_full` error)
+ *
+ * The daemon serves until stdin reaches EOF (Ctrl-D, or the parent
+ * closing the pipe), then prints the per-endpoint stats footer and
+ * shuts down — in-flight searches are cancelled within one sample.
+ * Talk to it with `search_service_client`, or by hand:
+ *
+ *   {"endpoint":"ping","id":"1"}
+ *   {"endpoint":"search","id":"2","spec":{...}}   (see specToJson)
+ *   {"endpoint":"stats","id":"3"}
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "service/search_service.hh"
+#include "service/tcp_server.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+using namespace dosa;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    service::ServiceConfig config;
+    config.max_concurrent = int(cli.getInt("workers", 2));
+    config.max_queue = int(cli.getInt("queue", 16));
+
+    service::SearchService svc(config);
+    service::TcpServer server(svc,
+            uint16_t(cli.getInt("port", 0)));
+    std::string error;
+    if (!server.start(error))
+        fatal("tcp server: " + error);
+
+    std::printf("%s %s listening on 127.0.0.1:%u "
+                "(workers: %d, queue: %d)\n",
+            config.name.c_str(), config.version.c_str(),
+            unsigned(server.port()), config.max_concurrent,
+            config.max_queue);
+    std::printf("serving until stdin EOF...\n");
+    std::fflush(stdout);
+
+    // Block until the controlling terminal/pipe closes.
+    int c;
+    while ((c = std::getchar()) != EOF) {
+    }
+
+    std::printf("\nendpoint stats:\n");
+    for (const service::EndpointStats &ep : svc.stats())
+        std::printf("  %s\n", ep.str().c_str());
+
+    server.stop();
+    svc.shutdown();
+    std::printf("bye\n");
+    return 0;
+}

@@ -38,9 +38,10 @@ ensureBuiltins()
     std::call_once(once, [] { detail::registerBuiltinSearchers(); });
 }
 
-/** Reject option keys the chosen searcher does not consume. */
-void
-validateOptions(const SearchSpec &spec, const Searcher &searcher)
+/** Option keys the chosen searcher does not consume, as an error. */
+bool
+checkOptions(const SearchSpec &spec, const Searcher &searcher,
+             std::string &error)
 {
     const std::vector<std::string_view> known = searcher.optionKeys();
     for (const std::string &key : spec.options.keys()) {
@@ -52,9 +53,12 @@ validateOptions(const SearchSpec &spec, const Searcher &searcher)
                 valid += ", ";
             valid += k;
         }
-        fatal("unknown option \"" + key + "\" for search algorithm \"" +
-              searcher.name() + "\" (valid: " + valid + ")");
+        error = "unknown option \"" + key +
+                "\" for search algorithm \"" + searcher.name() +
+                "\" (valid: " + valid + ")";
+        return false;
     }
+    return true;
 }
 
 /** Scoped eval-cache policy: applies the spec's mode, restores after. */
@@ -141,18 +145,42 @@ Search::algorithmList()
     return out;
 }
 
+bool
+validateSpec(const SearchSpec &spec, std::string &error)
+{
+    const Searcher *searcher = Search::find(spec.algorithm);
+    if (searcher == nullptr) {
+        error = "unknown search algorithm \"" + spec.algorithm +
+                "\" (available: " + Search::algorithmList() + ")";
+        return false;
+    }
+    if (!checkOptions(spec, *searcher, error))
+        return false;
+    if (spec.workload.empty()) {
+        error = "search spec has an empty workload";
+        return false;
+    }
+    for (const Layer &layer : spec.workload) {
+        if (!layer.valid()) {
+            error = "search spec workload layer \"" + layer.name +
+                    "\" is ill-formed (every dimension must be >= 1)";
+            return false;
+        }
+    }
+    if (spec.budget.max_samples < 0 || spec.budget.deadline_s < 0.0) {
+        error = "search budget limits must be non-negative";
+        return false;
+    }
+    return true;
+}
+
 SearchReport
 runSearch(const SearchSpec &spec, SearchObserver *observer)
 {
+    std::string error;
+    if (!validateSpec(spec, error))
+        fatal(error);
     const Searcher *searcher = Search::find(spec.algorithm);
-    if (searcher == nullptr)
-        fatal("unknown search algorithm \"" + spec.algorithm +
-              "\" (available: " + Search::algorithmList() + ")");
-    validateOptions(spec, *searcher);
-    if (spec.workload.empty())
-        fatal("search spec has an empty workload");
-    if (spec.budget.max_samples < 0 || spec.budget.deadline_s < 0.0)
-        fatal("search budget limits must be non-negative");
 
     CacheModeGuard cache_guard(spec.cache);
 

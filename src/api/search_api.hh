@@ -45,6 +45,17 @@ namespace dosa {
 SearchReport runSearch(const SearchSpec &spec,
                        SearchObserver *observer = nullptr);
 
+/**
+ * Non-fatal validation of everything `runSearch` would reject as a
+ * fatal configuration error: unknown algorithm (the message lists
+ * the registry), option keys the chosen searcher does not consume,
+ * an empty workload or ill-formed layers, negative budget limits.
+ * Returns false and sets `error` instead of exiting — the check a
+ * long-running caller (the search service) runs on untrusted specs
+ * before dispatching, so a bad request cannot take the process down.
+ */
+bool validateSpec(const SearchSpec &spec, std::string &error);
+
 } // namespace dosa
 
 #endif // DOSA_API_SEARCH_API_HH

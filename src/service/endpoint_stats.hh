@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-endpoint operational statistics of the search service, modeled
+ * on the NATS microservice endpoint-stats idiom: every endpoint
+ * reports its request count, error count, last error string and a
+ * processing-time distribution through one shared vocabulary, so a
+ * fleet scheduler (or the `stats` endpoint itself) reads every
+ * service the same way.
+ */
+
+#ifndef DOSA_SERVICE_ENDPOINT_STATS_HH
+#define DOSA_SERVICE_ENDPOINT_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "stats/stats.hh"
+
+namespace dosa::service {
+
+/** Snapshot of one endpoint's counters and timing distribution. */
+struct EndpointStats
+{
+    /** Endpoint name ("search", "stats", "ping", "_protocol"). */
+    std::string name;
+    /** Requests received (including ones that ended in an error). */
+    uint64_t requests = 0;
+    /** Requests answered with an `error` frame. */
+    uint64_t errors = 0;
+    /** Message of the most recent error reply (empty when none). */
+    std::string last_error;
+    /**
+     * Processing-time distribution in seconds: admission-to-reply
+     * for inline endpoints, dequeue-to-done for searches (queue wait
+     * excluded — it measures the endpoint, not the backlog).
+     */
+    Summary processing_s;
+
+    /** One-line "name requests=... errors=... [times]" summary. */
+    std::string
+    str() const
+    {
+        return name + ": requests=" + std::to_string(requests) +
+               " errors=" + std::to_string(errors) + " [" +
+               processing_s.str() + "]";
+    }
+};
+
+} // namespace dosa::service
+
+#endif // DOSA_SERVICE_ENDPOINT_STATS_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * In-process transport for the search service: the same line framing
+ * as the TCP transport, with a bounded in-memory reply queue instead
+ * of a socket. This is the unit-testable seam — protocol, fault and
+ * determinism tests drive the full service core (admission, workers,
+ * streaming, cancellation) with no networking, no ports and no I/O
+ * flakiness.
+ *
+ * Each `connect()` yields a `ServiceBus::Client` whose reply queue is
+ * the request's `FrameSink`. The queue is bounded, which models real
+ * socket backpressure: when the client stops reading, the queue
+ * fills, the service's `send` blocks, and a subsequent `close()`
+ * releases it with `false` — exactly the disconnect signal the
+ * service turns into cooperative cancellation. Fault tests use this
+ * to make "client vanished mid-stream" a deterministic, schedulable
+ * event instead of a racy one.
+ */
+
+#ifndef DOSA_SERVICE_SERVICE_BUS_HH
+#define DOSA_SERVICE_SERVICE_BUS_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "service/search_service.hh"
+
+namespace dosa::service {
+
+namespace detail {
+class BusSink;
+} // namespace detail
+
+/** Factory of in-process connections to one `SearchService`. */
+class ServiceBus
+{
+  public:
+    /** Reply-queue capacity unless `connect` overrides it. */
+    static constexpr size_t kDefaultReplyCapacity = 1024;
+
+    explicit ServiceBus(SearchService &service) : service_(service) {}
+
+    /**
+     * One in-process connection: requests go straight to
+     * `SearchService::submit`, reply frames land in this client's
+     * bounded queue. Movable, not copyable.
+     */
+    class Client
+    {
+      public:
+        Client(SearchService &service, size_t reply_capacity);
+        ~Client(); ///< closes, releasing any blocked service send
+
+        Client(Client &&) = default;
+        Client &operator=(Client &&) = default;
+        Client(const Client &) = delete;
+        Client &operator=(const Client &) = delete;
+
+        /**
+         * Submit one request line. Inline endpoints (`stats`,
+         * `ping`) reply into the queue before this returns — do not
+         * call with the reply queue full, the inline reply would
+         * deadlock against the caller. `search` admission replies
+         * arrive asynchronously.
+         */
+        void send(const std::string &line);
+
+        /**
+         * Pop the next reply frame, blocking while the queue is
+         * empty. Returns false once the client is closed.
+         */
+        bool receive(std::string &frame);
+
+        /**
+         * Disconnect: every blocked or future service `send` returns
+         * false (the cancellation signal) and `receive` unblocks
+         * with false. Idempotent.
+         */
+        void close();
+
+      private:
+        SearchService *service_;
+        std::shared_ptr<detail::BusSink> sink_;
+    };
+
+    /** Open a connection with the given reply-queue capacity. */
+    Client
+    connect(size_t reply_capacity = kDefaultReplyCapacity)
+    {
+        return Client(service_, reply_capacity);
+    }
+
+  private:
+    SearchService &service_;
+};
+
+} // namespace dosa::service
+
+#endif // DOSA_SERVICE_SERVICE_BUS_HH

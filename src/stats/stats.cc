@@ -35,6 +35,34 @@ CacheStats::str() const
     return buf;
 }
 
+Summary
+Summary::of(std::vector<double> v)
+{
+    Summary s;
+    if (v.empty())
+        return s;
+    s.n = v.size();
+    s.mean = dosa::mean(v);
+    std::sort(v.begin(), v.end());
+    s.min = v.front();
+    s.max = v.back();
+    s.p50 = percentile(v, 50.0);
+    s.p90 = percentile(v, 90.0);
+    s.p99 = percentile(v, 99.0);
+    return s;
+}
+
+std::string
+Summary::str() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+            "n=%zu min=%.6g mean=%.6g p50=%.6g p90=%.6g p99=%.6g "
+            "max=%.6g",
+            n, min, mean, p50, p90, p99, max);
+    return buf;
+}
+
 double
 mean(const std::vector<double> &v)
 {

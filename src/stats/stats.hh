@@ -35,6 +35,29 @@ struct CacheStats
     std::string str() const;
 };
 
+/**
+ * Order-statistics summary of one sample set — the vocabulary the
+ * search service reports per-endpoint processing times in (request
+ * latency min/avg/max plus tail percentiles), usable by any component
+ * that accumulates durations or scores.
+ */
+struct Summary
+{
+    size_t n = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+
+    /** Summarize `v` (all zeros for empty input). */
+    static Summary of(std::vector<double> v);
+
+    /** One-line "n=... min=... mean=... p99=... max=..." summary. */
+    std::string str() const;
+};
+
 /** Arithmetic mean; 0 for empty input. */
 double mean(const std::vector<double> &v);
 

@@ -1,0 +1,691 @@
+/**
+ * @file
+ * Recursive-descent JSON parser and the canonical compact writer.
+ * See json.hh for the determinism / round-trip / no-crash contract.
+ */
+#include "util/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace dosa::json {
+
+namespace {
+
+/** Nesting bound: hostile inputs cannot overflow the parse stack. */
+constexpr int kMaxDepth = 64;
+
+const char *
+kindName(Value::Kind k)
+{
+    switch (k) {
+      case Value::Kind::Null: return "null";
+      case Value::Kind::Bool: return "bool";
+      case Value::Kind::Number: return "number";
+      case Value::Kind::String: return "string";
+      case Value::Kind::Array: return "array";
+      case Value::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+/** Append `s` to `out` as a quoted JSON string with escapes. */
+void
+appendQuoted(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+Value
+Value::boolean(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::number(double d)
+{
+    if (!(d == d) || d > 1.7976931348623157e308 ||
+        d < -1.7976931348623157e308)
+        panic("json::Value::number: non-finite double");
+    Value v;
+    v.kind_ = Kind::Number;
+    char buf[32];
+    // 17 significant digits round-trip every finite IEEE double.
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    v.num_ = buf;
+    return v;
+}
+
+Value
+Value::number(int64_t i)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+            static_cast<long long>(i));
+    v.num_ = buf;
+    return v;
+}
+
+Value
+Value::number(uint64_t u)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+            static_cast<unsigned long long>(u));
+    v.num_ = buf;
+    return v;
+}
+
+Value
+Value::string(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic(std::string("json: asBool on ") + kindName(kind_));
+    return bool_;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        panic(std::string("json: asDouble on ") + kindName(kind_));
+    return std::strtod(num_.c_str(), nullptr);
+}
+
+int64_t
+Value::asInt() const
+{
+    if (kind_ != Kind::Number)
+        panic(std::string("json: asInt on ") + kindName(kind_));
+    char *end = nullptr;
+    long long i = std::strtoll(num_.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0')
+        return static_cast<int64_t>(i);
+    // Fractional/exponent token: go through the double reading.
+    return static_cast<int64_t>(std::strtod(num_.c_str(), nullptr));
+}
+
+uint64_t
+Value::asUint() const
+{
+    if (kind_ != Kind::Number)
+        panic(std::string("json: asUint on ") + kindName(kind_));
+    char *end = nullptr;
+    unsigned long long u = std::strtoull(num_.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0')
+        return static_cast<uint64_t>(u);
+    return static_cast<uint64_t>(std::strtod(num_.c_str(), nullptr));
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        panic(std::string("json: asString on ") + kindName(kind_));
+    return str_;
+}
+
+const std::vector<Value> &
+Value::elements() const
+{
+    if (kind_ != Kind::Array)
+        panic(std::string("json: elements on ") + kindName(kind_));
+    return arr_;
+}
+
+Value &
+Value::push(Value v)
+{
+    if (kind_ != Kind::Array)
+        panic(std::string("json: push on ") + kindName(kind_));
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+const std::map<std::string, Value> &
+Value::members() const
+{
+    if (kind_ != Kind::Object)
+        panic(std::string("json: members on ") + kindName(kind_));
+    return obj_;
+}
+
+Value &
+Value::set(const std::string &key, Value v)
+{
+    if (kind_ != Kind::Object)
+        panic(std::string("json: set on ") + kindName(kind_));
+    obj_[key] = std::move(v);
+    return *this;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+void
+Value::dumpInto(std::string &out) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += num_;
+        break;
+      case Kind::String:
+        appendQuoted(out, str_);
+        break;
+      case Kind::Array:
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            arr_[i].dumpInto(out);
+        }
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        {
+            bool first = true;
+            for (const auto &[key, value] : obj_) {
+                if (!first)
+                    out += ',';
+                first = false;
+                appendQuoted(out, key);
+                out += ':';
+                value.dumpInto(out);
+            }
+        }
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    dumpInto(out);
+    return out;
+}
+
+/** Single-pass recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    bool
+    run(Value &out, std::string &error)
+    {
+        if (!parseValue(out, 0))
+            goto fail;
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error_ = "trailing characters after JSON value";
+            goto fail;
+        }
+        return true;
+    fail:
+        error = error_ + " (at byte " + std::to_string(pos_) + ")";
+        return false;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    /** Consume `lit` (after its first char was peeked). */
+    bool
+    literal(const char *lit)
+    {
+        size_t n = std::string_view(lit).size();
+        if (text_.substr(pos_, n) != lit)
+            return fail(std::string("invalid literal, expected \"") +
+                        lit + "\"");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 64 levels");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case 'n':
+            out = Value::null();
+            return literal("null");
+          case 't':
+            out = Value::boolean(true);
+            return literal("true");
+          case 'f':
+            out = Value::boolean(false);
+            return literal("false");
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail("unexpected character");
+        }
+    }
+
+    /** Validate a number token and keep its exact lexeme. */
+    bool
+    parseNumber(Value &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        size_t int_start = pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            ++pos_;
+        if (pos_ == int_start)
+            return fail("malformed number");
+        // JSON forbids leading zeros ("007"); keep it strict so the
+        // canonical form is unique.
+        if (pos_ - int_start > 1 && text_[int_start] == '0')
+            return fail("number has a leading zero");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            size_t frac_start = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+            if (pos_ == frac_start)
+                return fail("malformed number fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            size_t exp_start = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+            if (pos_ == exp_start)
+                return fail("malformed number exponent");
+        }
+        out = Value();
+        out.kind_ = Value::Kind::Number;
+        out.num_ = std::string(text_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        std::string s;
+        if (!parseStringRaw(s))
+            return false;
+        out = Value::string(std::move(s));
+        return true;
+    }
+
+    bool
+    parseStringRaw(std::string &s)
+    {
+        ++pos_; // opening quote (peeked by the caller)
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            unsigned char c =
+                    static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                s += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_; // backslash
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                if (!parseHex4(code))
+                    return false;
+                appendUtf8(s, code);
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool
+    parseHex4(unsigned &code)
+    {
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return fail("unterminated \\u escape");
+            char c = text_[pos_++];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return fail("invalid \\u escape digit");
+            code = code * 16 + digit;
+        }
+        return true;
+    }
+
+    /** Encode one BMP code point as UTF-8 (surrogates kept as-is). */
+    static void
+    appendUtf8(std::string &s, unsigned code)
+    {
+        if (code < 0x80) {
+            s += static_cast<char>(code);
+        } else if (code < 0x800) {
+            s += static_cast<char>(0xC0 | (code >> 6));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            s += static_cast<char>(0xE0 | (code >> 12));
+            s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    bool
+    parseArray(Value &out, int depth)
+    {
+        ++pos_; // '['
+        out = Value::array();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Value elem;
+            if (!parseValue(elem, depth + 1))
+                return false;
+            out.push(std::move(elem));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            char c = text_[pos_++];
+            if (c == ']')
+                return true;
+            if (c != ',') {
+                --pos_;
+                return fail("expected ',' or ']' in array");
+            }
+        }
+    }
+
+    bool
+    parseObject(Value &out, int depth)
+    {
+        ++pos_; // '{'
+        out = Value::object();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parseStringRaw(key))
+                return false;
+            if (out.find(key) != nullptr)
+                return fail("duplicate object key \"" + key + "\"");
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            Value member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.set(key, std::move(member));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            char c = text_[pos_++];
+            if (c == '}')
+                return true;
+            if (c != ',') {
+                --pos_;
+                return fail("expected ',' or '}' in object");
+            }
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+bool
+parse(std::string_view text, Value &out, std::string &error)
+{
+    return Parser(text).run(out, error);
+}
+
+ObjectReader::ObjectReader(const Value &value, std::string path,
+                           std::string &error)
+    : value_(value), path_(std::move(path)), error_(error)
+{
+    if (!value_.isObject())
+        fail("expected an object");
+}
+
+bool
+ObjectReader::fail(const std::string &msg)
+{
+    if (ok_) {
+        ok_ = false;
+        error_ = path_ + ": " + msg;
+    }
+    return false;
+}
+
+const Value *
+ObjectReader::consume(const char *key)
+{
+    if (!ok_)
+        return nullptr;
+    const Value *member = value_.find(key);
+    if (member != nullptr)
+        seen_.push_back(key);
+    return member;
+}
+
+const Value *
+ObjectReader::number(const char *key)
+{
+    const Value *v = consume(key);
+    if (v == nullptr)
+        return nullptr;
+    if (!v->isNumber()) {
+        fail(std::string(key) + ": expected a number");
+        return nullptr;
+    }
+    return v;
+}
+
+bool
+ObjectReader::readInt(const char *key, int64_t &out)
+{
+    if (const Value *v = number(key))
+        out = v->asInt();
+    return ok_;
+}
+
+bool
+ObjectReader::readUint(const char *key, uint64_t &out)
+{
+    if (const Value *v = number(key))
+        out = v->asUint();
+    return ok_;
+}
+
+bool
+ObjectReader::readDouble(const char *key, double &out)
+{
+    if (const Value *v = number(key))
+        out = v->asDouble();
+    return ok_;
+}
+
+bool
+ObjectReader::readBool(const char *key, bool &out)
+{
+    const Value *v = consume(key);
+    if (v == nullptr)
+        return ok_;
+    if (!v->isBool())
+        return fail(std::string(key) + ": expected a bool");
+    out = v->asBool();
+    return true;
+}
+
+bool
+ObjectReader::readString(const char *key, std::string &out)
+{
+    const Value *v = consume(key);
+    if (v == nullptr)
+        return ok_;
+    if (!v->isString())
+        return fail(std::string(key) + ": expected a string");
+    out = v->asString();
+    return true;
+}
+
+bool
+ObjectReader::finish()
+{
+    if (!ok_)
+        return false;
+    for (const auto &[key, member] : value_.members()) {
+        (void)member;
+        bool consumed = false;
+        for (const std::string &s : seen_) {
+            if (s == key) {
+                consumed = true;
+                break;
+            }
+        }
+        if (!consumed)
+            return fail("unknown key \"" + key + "\"");
+    }
+    return true;
+}
+
+} // namespace dosa::json

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Minimal deterministic JSON value, parser and writer for the wire
+ * protocol of the search service (src/service).
+ *
+ * Design constraints, in order:
+ *
+ * - *Deterministic output.* Objects store their members in a sorted
+ *   map and `dump()` emits them in key order with no whitespace, so
+ *   the same value always serializes to the same bytes — the property
+ *   the service's byte-identical streaming contract is built on.
+ * - *Exact numeric round-trips.* Numbers are stored as their token
+ *   text: the parser keeps the lexeme it validated, and the typed
+ *   factories emit canonical tokens (`%lld`/`%llu` for integers,
+ *   `%.17g` for doubles, which round-trips every finite IEEE double).
+ *   dump(parse(dump(v))) is therefore bitwise-stable.
+ * - *Never crashes on hostile input.* `parse` returns false with a
+ *   diagnostic for malformed text (depth-limited against deeply
+ *   nested bombs); it is the one decoder the daemon exposes to the
+ *   network. Type-mismatched accessors on a parsed value panic — use
+ *   the `is*()`/`kind()` checks first when reading untrusted data.
+ */
+
+#ifndef DOSA_UTIL_JSON_HH
+#define DOSA_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosa::json {
+
+/** One JSON value (null / bool / number / string / array / object). */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Default-constructed value is null. */
+    Value() = default;
+
+    // -- Factories (canonical number tokens, see file comment).
+
+    static Value null() { return Value(); }
+    static Value boolean(bool b);
+    static Value number(double v); ///< panics on non-finite v
+    static Value number(int64_t v);
+    static Value number(uint64_t v);
+    static Value number(int v) { return number(int64_t(v)); }
+    static Value string(std::string s);
+    static Value array();
+    static Value object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    // -- Typed accessors (panic on kind mismatch).
+
+    bool asBool() const;
+    /** Number as double (strtod of the stored token). */
+    double asDouble() const;
+    /** Number as int64 (truncating when the token is fractional). */
+    int64_t asInt() const;
+    /** Number as uint64 (full-range seeds round-trip through this). */
+    uint64_t asUint() const;
+    const std::string &asString() const;
+
+    // -- Array access.
+
+    /** Elements of an array (panics otherwise). */
+    const std::vector<Value> &elements() const;
+    /** Append an element (panics when not an array). */
+    Value &push(Value v);
+
+    // -- Object access (members kept sorted by key).
+
+    /** Members of an object (panics otherwise). */
+    const std::map<std::string, Value> &members() const;
+    /** Set (or overwrite) a member; returns *this for chaining. */
+    Value &set(const std::string &key, Value v);
+    /** Member named `key`, or null when absent / not an object. */
+    const Value *find(const std::string &key) const;
+
+    /**
+     * Serialize to compact one-line JSON: no whitespace, object
+     * members in sorted key order, numbers re-emitting their stored
+     * tokens — the canonical wire form.
+     */
+    std::string dump() const;
+
+  private:
+    void dumpInto(std::string &out) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string num_; ///< validated numeric token (Kind::Number)
+    std::string str_; ///< string payload (Kind::String)
+    std::vector<Value> arr_;
+    std::map<std::string, Value> obj_;
+
+    friend class Parser;
+};
+
+/**
+ * Parse one JSON document from `text` into `out`. Returns false and
+ * sets `error` (with a byte offset) on malformed input: lexical
+ * errors, trailing garbage, duplicate object keys, nesting deeper
+ * than 64 levels. Never crashes, whatever the input.
+ */
+bool parse(std::string_view text, Value &out, std::string &error);
+
+/**
+ * Strict member-by-member object decoder: a caller reads each known
+ * key with a typed accessor (absent keys leave the output untouched,
+ * wrong-typed ones fail), then `finish()` rejects any member no
+ * reader consumed — the unknown-key strictness the spec and wire
+ * decoders are built on. Errors carry a field path
+ * ("spec.workload[2].stride: expected a number"); the first failure
+ * sticks and later reads become no-ops, so call sites can chain
+ * reads and check once.
+ */
+class ObjectReader
+{
+  public:
+    /** Read members of `value`; `path` prefixes every diagnostic. */
+    ObjectReader(const Value &value, std::string path,
+                 std::string &error);
+
+    /** False after any failed read (the first error is kept). */
+    bool ok() const { return ok_; }
+
+    /** Record a failure at this reader's path; returns false. */
+    bool fail(const std::string &msg);
+
+    /** Member named `key`, marking it consumed; null when absent. */
+    const Value *consume(const char *key);
+
+    bool readInt(const char *key, int64_t &out);
+    bool readUint(const char *key, uint64_t &out);
+    bool readDouble(const char *key, double &out);
+    bool readBool(const char *key, bool &out);
+    bool readString(const char *key, std::string &out);
+
+    /** Reject members no reader consumed (unknown-key strictness). */
+    bool finish();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    const Value *number(const char *key);
+
+    const Value &value_;
+    std::string path_;
+    std::string &error_;
+    std::vector<std::string> seen_;
+    bool ok_ = true;
+};
+
+} // namespace dosa::json
+
+#endif // DOSA_UTIL_JSON_HH

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests of the deterministic JSON layer (`util/json`): canonical
+ * dump ordering, token-preserving numeric round-trips, strict parsing
+ * of hostile input (fuzzed mutations and truncations never crash, and
+ * depth bombs are rejected), and the strict `ObjectReader` decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/json.hh"
+#include "util/rng.hh"
+
+namespace dosa::json {
+namespace {
+
+TEST(JsonValue, DumpSortsObjectKeysAndUsesNoWhitespace)
+{
+    Value v = Value::object();
+    v.set("zeta", Value::number(int64_t(1)));
+    v.set("alpha", Value::boolean(true));
+    v.set("mid", Value::string("x"));
+    EXPECT_EQ(v.dump(), "{\"alpha\":true,\"mid\":\"x\",\"zeta\":1}");
+}
+
+TEST(JsonValue, StringEscapes)
+{
+    Value v = Value::string(std::string("a\"b\\c\n\t\x01"));
+    EXPECT_EQ(v.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+
+    Value parsed;
+    std::string error;
+    ASSERT_TRUE(parse(v.dump(), parsed, error)) << error;
+    EXPECT_EQ(parsed.asString(), v.asString());
+}
+
+TEST(JsonValue, NumberTokensAreCanonicalAndExact)
+{
+    EXPECT_EQ(Value::number(int64_t(-42)).dump(), "-42");
+    EXPECT_EQ(Value::number(uint64_t(18446744073709551615ull)).dump(),
+            "18446744073709551615");
+    EXPECT_EQ(Value::number(uint64_t(18446744073709551615ull)).asUint(),
+            18446744073709551615ull);
+
+    // %.17g round-trips every finite double bit-for-bit.
+    for (double d : {0.1, 1.0 / 3.0, 6.02214076e23, -5e-324,
+                 std::numeric_limits<double>::max()}) {
+        Value v = Value::number(d);
+        EXPECT_EQ(v.asDouble(), d) << v.dump();
+    }
+}
+
+TEST(JsonValue, NonFiniteNumberPanics)
+{
+    EXPECT_DEATH((void)Value::number(
+                         std::numeric_limits<double>::infinity()),
+            "non-finite");
+    EXPECT_DEATH((void)Value::number(std::nan("")), "non-finite");
+}
+
+TEST(JsonValue, TypeMismatchedAccessorPanics)
+{
+    EXPECT_DEATH((void)Value::string("x").asDouble(), "asDouble");
+    EXPECT_DEATH((void)Value::number(1).asString(), "asString");
+    EXPECT_DEATH((void)Value::object().elements(), "elements");
+}
+
+TEST(JsonParse, RoundTripIsBitwiseStable)
+{
+    const std::string doc =
+            "{\"a\":[1,2.5,1e-3,-0,18446744073709551615],"
+            "\"b\":{\"x\":null,\"y\":false},\"c\":\"s\"}";
+    Value v;
+    std::string error;
+    ASSERT_TRUE(parse(doc, v, error)) << error;
+    std::string once = v.dump();
+    Value again;
+    ASSERT_TRUE(parse(once, again, error)) << error;
+    // Token preservation: "2.5", "1e-3" and "-0" survive verbatim.
+    EXPECT_EQ(again.dump(), once);
+    EXPECT_NE(once.find("1e-3"), std::string::npos);
+    EXPECT_NE(once.find("-0"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",
+        "   ",
+        "{",
+        "[1,2",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{\"a\" 1}",
+        "{\"a\":1}x",
+        "{'a':1}",
+        "[01]",
+        "[1.]",
+        "[1e]",
+        "[+1]",
+        "\"unterminated",
+        "\"bad\\q\"",
+        "\"\\u12g4\"",
+        "tru",
+        "nulll",
+        "{\"a\":1,\"a\":2}",
+    };
+    for (const char *doc : bad) {
+        Value v;
+        std::string error;
+        EXPECT_FALSE(parse(doc, v, error)) << doc;
+        EXPECT_FALSE(error.empty()) << doc;
+    }
+}
+
+TEST(JsonParse, RejectsDepthBombs)
+{
+    std::string bomb(100, '[');
+    Value v;
+    std::string error;
+    EXPECT_FALSE(parse(bomb, v, error));
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+
+    // 64 levels of nesting are still fine.
+    std::string ok(60, '[');
+    ok += "1";
+    ok += std::string(60, ']');
+    EXPECT_TRUE(parse(ok, v, error)) << error;
+}
+
+TEST(JsonParse, FuzzedMutationsNeverCrash)
+{
+    const std::string seed_doc =
+            "{\"alg\":\"dosa\",\"nums\":[1,2.75,-3e4],"
+            "\"nested\":{\"k\":\"v\\n\",\"t\":true}}";
+    Rng rng(0xfeedface);
+    size_t accepted = 0;
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string doc = seed_doc;
+        int edits = int(rng.uniformInt(1, 4));
+        for (int e = 0; e < edits; ++e) {
+            size_t pos = size_t(
+                    rng.uniformInt(0, int64_t(doc.size()) - 1));
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                doc[pos] = char(rng.uniformInt(0, 255));
+                break;
+              case 1:
+                doc.erase(pos, 1);
+                break;
+              default:
+                doc.insert(pos, 1, char(rng.uniformInt(0, 255)));
+                break;
+            }
+            if (doc.empty())
+                break;
+        }
+        Value v;
+        std::string error;
+        if (parse(doc, v, error)) {
+            ++accepted;
+            // Whatever parsed must re-dump parseable and stable.
+            Value again;
+            ASSERT_TRUE(parse(v.dump(), again, error))
+                    << doc << " -> " << v.dump() << ": " << error;
+            EXPECT_EQ(again.dump(), v.dump());
+        } else {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+    // Sanity: the fuzzer is actually exercising both outcomes.
+    EXPECT_LT(accepted, 2000u);
+}
+
+TEST(JsonParse, TruncationsNeverCrash)
+{
+    const std::string doc =
+            "{\"a\":[1,2.5,\"x\\u0041\"],\"b\":{\"c\":null}}";
+    for (size_t len = 0; len < doc.size(); ++len) {
+        Value v;
+        std::string error;
+        EXPECT_FALSE(parse(doc.substr(0, len), v, error))
+                << "prefix length " << len;
+    }
+    Value v;
+    std::string error;
+    EXPECT_TRUE(parse(doc, v, error)) << error;
+}
+
+TEST(JsonObjectReader, ReadsTypedMembersAndRejectsUnknownKeys)
+{
+    Value v;
+    std::string parse_error;
+    ASSERT_TRUE(parse("{\"i\":-7,\"u\":9,\"d\":2.5,\"b\":true,"
+                      "\"s\":\"x\"}",
+            v, parse_error));
+
+    std::string error;
+    ObjectReader r(v, "obj", error);
+    int64_t i = 0;
+    uint64_t u = 0;
+    double d = 0.0;
+    bool b = false;
+    std::string s;
+    r.readInt("i", i);
+    r.readUint("u", u);
+    r.readDouble("d", d);
+    r.readBool("b", b);
+    r.readString("s", s);
+    EXPECT_TRUE(r.finish()) << error;
+    EXPECT_EQ(i, -7);
+    EXPECT_EQ(u, 9u);
+    EXPECT_EQ(d, 2.5);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(s, "x");
+
+    // Leftover key -> unknown-key rejection with the reader's path.
+    std::string error2;
+    ObjectReader r2(v, "obj", error2);
+    r2.readInt("i", i);
+    EXPECT_FALSE(r2.finish());
+    EXPECT_NE(error2.find("unknown key"), std::string::npos);
+    EXPECT_NE(error2.find("obj"), std::string::npos);
+}
+
+TEST(JsonObjectReader, FirstErrorSticksAndAbsentKeysAreDefaults)
+{
+    Value v;
+    std::string parse_error;
+    ASSERT_TRUE(parse("{\"n\":\"not a number\"}", v, parse_error));
+
+    std::string error;
+    ObjectReader r(v, "obj", error);
+    int64_t n = 42;
+    EXPECT_FALSE(r.readInt("n", n));
+    EXPECT_EQ(n, 42); // untouched on type mismatch
+    std::string unrelated = "keep";
+    r.readString("absent", unrelated);
+    EXPECT_EQ(unrelated, "keep");
+    EXPECT_FALSE(r.finish());
+    EXPECT_EQ(error, "obj: n: expected a number");
+
+    // Non-object roots fail at construction.
+    std::string error3;
+    ObjectReader bad(Value::number(1), "root", error3);
+    EXPECT_FALSE(bad.ok());
+    EXPECT_NE(error3.find("expected an object"), std::string::npos);
+}
+
+} // namespace
+} // namespace dosa::json

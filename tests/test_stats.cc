@@ -50,6 +50,41 @@ TEST(Percentile, Interpolates)
     EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
 }
 
+TEST(Summary, OfSummarizesTheDistribution)
+{
+    Summary s = Summary::of({4.0, 1.0, 3.0, 2.0, 5.0});
+    EXPECT_EQ(s.n, 5u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.p50, 3.0);
+    EXPECT_DOUBLE_EQ(s.p90, percentile({1, 2, 3, 4, 5}, 90.0));
+    EXPECT_DOUBLE_EQ(s.p99, percentile({1, 2, 3, 4, 5}, 99.0));
+}
+
+TEST(Summary, EmptyAndSingleton)
+{
+    Summary empty = Summary::of({});
+    EXPECT_EQ(empty.n, 0u);
+    EXPECT_DOUBLE_EQ(empty.min, 0.0);
+    EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+
+    Summary one = Summary::of({2.5});
+    EXPECT_EQ(one.n, 1u);
+    EXPECT_DOUBLE_EQ(one.min, 2.5);
+    EXPECT_DOUBLE_EQ(one.max, 2.5);
+    EXPECT_DOUBLE_EQ(one.p50, 2.5);
+    EXPECT_DOUBLE_EQ(one.p99, 2.5);
+}
+
+TEST(Summary, StrNamesEveryField)
+{
+    std::string s = Summary::of({1.0, 2.0}).str();
+    for (const char *field : {"n=", "min=", "mean=", "p50=", "p90=",
+                 "p99=", "max="})
+        EXPECT_NE(s.find(field), std::string::npos) << s;
+}
+
 TEST(Pearson, PerfectCorrelation)
 {
     std::vector<double> x = {1, 2, 3, 4};
