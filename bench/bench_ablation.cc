@@ -89,6 +89,6 @@ main(int argc, char **argv)
                 "mainly stabilizes single-start and fixed-PE runs "
                 "(see DESIGN.md).");
     table.writeCsv("bench_ablation.csv");
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
     return 0;
 }

@@ -145,6 +145,6 @@ main(int argc, char **argv)
     table7.print();
     fig12.writeCsv("bench_fig12.csv");
     table7.writeCsv("bench_table7.csv");
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
     return 0;
 }

@@ -125,6 +125,6 @@ main(int argc, char **argv)
     }
     std::printf("\nSpearman(model, reference) EDP: %.4f\n",
             spearman(edp_model, edp_ref));
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
     return 0;
 }

@@ -89,6 +89,6 @@ main(int argc, char **argv)
     series.print();
     table.writeCsv("bench_fig6.csv");
     series.writeCsv("bench_fig6_series.csv");
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
     return 0;
 }

@@ -158,6 +158,30 @@ main(int argc, char **argv)
                     "BB-BO at ~10k samples)\n");
     series.writeCsv("bench_fig7_series.csv");
     finals.writeCsv("bench_fig7.csv");
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
+
+    // Trajectory line: throughput only. The EDP tables are pinned by
+    // the golden traces already, and their float jitter across
+    // toolchains would break line-to-line comparability.
+    const double wall_s = timer.seconds();
+    std::string algos_joined;
+    for (const std::string &algo : algos) {
+        if (!algos_joined.empty())
+            algos_joined += "+";
+        algos_joined += algo;
+    }
+    json::Value row = json::Value::object();
+    row.set("bench", json::Value::string("fig7"));
+    row.set("mode", json::Value::string(bench::modeName(scale)));
+    row.set("algos", json::Value::string(algos_joined));
+    row.set("jobs", json::Value::number(int64_t(scale.jobs)));
+    row.set("runs", json::Value::number(int64_t(runs)));
+    row.set("cells", json::Value::number(uint64_t(cells)));
+    row.set("samples_per_cell", json::Value::number(int64_t(samples)));
+    row.set("wall_s", json::Value::number(wall_s));
+    row.set("samples_per_s", json::Value::number(wall_s > 0.0
+            ? double(cells) * double(samples) / wall_s
+            : 0.0));
+    bench::appendTrajectoryLine("BENCH_fig7.json", std::move(row));
     return 0;
 }

@@ -78,6 +78,6 @@ main(int argc, char **argv)
                 "4.4x; ResNet-50: 7.8x/17.9x/2.1x/2.5x; BERT: 11.4x/"
                 "42.6x/4.0x/5.3x; RetinaNet: 10.4x/19.5x/2.3x/3.1x)");
     table.writeCsv("bench_fig8.csv");
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
     return 0;
 }

@@ -94,6 +94,6 @@ main(int argc, char **argv)
     std::printf("  DOSA mappings vs random on DOSA HW: %.2fx "
                 "(paper 2.78x)\n", geomean(r_random));
     table.writeCsv("bench_fig9.csv");
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
     return 0;
 }

@@ -36,6 +36,8 @@ main(int argc, char **argv)
     TablePrinter table({"layers", "candidates", "scalar us/cand",
                         "batch us/cand", "speedup"});
     double sink = 0.0;
+    // The heaviest cell's timings feed the trajectory line below.
+    double traj_scalar_us = 0.0, traj_batch_us = 0.0;
 
     for (int lc : layer_counts) {
         std::vector<Layer> layers(net.layers.begin(),
@@ -74,6 +76,8 @@ main(int argc, char **argv)
             table.addRow({std::to_string(lc), std::to_string(nc),
                     fmt(us_scalar, 2), fmt(us_batch, 2),
                     fmt(us_scalar / us_batch, 2) + "x"});
+            traj_scalar_us = us_scalar;
+            traj_batch_us = us_batch;
         }
     }
 
@@ -82,6 +86,21 @@ main(int argc, char **argv)
             reps, sink);
     table.print();
     table.writeCsv("bench_replay_batch.csv");
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
+
+    // Trajectory line over the heaviest cell (24 layers x 16
+    // candidates): per-candidate microseconds for both interpreters.
+    // The speedup ratio is derivable and so not stored.
+    json::Value row = json::Value::object();
+    row.set("bench", json::Value::string("replay_batch"));
+    row.set("mode", json::Value::string(bench::modeName(scale)));
+    row.set("reps", json::Value::number(int64_t(reps)));
+    row.set("layers", json::Value::number(int64_t(24)));
+    row.set("candidates", json::Value::number(int64_t(16)));
+    row.set("scalar_per_cand_us", json::Value::number(traj_scalar_us));
+    row.set("batch_per_cand_us", json::Value::number(traj_batch_us));
+    row.set("wall_s", json::Value::number(timer.seconds()));
+    bench::appendTrajectoryLine("BENCH_replay_batch.json",
+            std::move(row));
     return 0;
 }

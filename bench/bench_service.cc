@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <ctime>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -121,8 +120,6 @@ appendTrajectory(const char *mode, int clients, int searches,
     json::Value row = json::Value::object();
     row.set("bench", json::Value::string("service"));
     row.set("mode", json::Value::string(mode));
-    row.set("unix_time",
-            json::Value::number(int64_t(std::time(nullptr))));
     row.set("clients", json::Value::number(int64_t(clients)));
     row.set("searches_per_client",
             json::Value::number(int64_t(searches)));
@@ -133,15 +130,7 @@ appendTrajectory(const char *mode, int clients, int searches,
     row.set("search_p99_s", json::Value::number(lat.p99));
     row.set("search_mean_s", json::Value::number(lat.mean));
     row.set("frames_per_s", json::Value::number(frames_per_s));
-
-    FILE *f = std::fopen("BENCH_service.json", "a");
-    if (!f) {
-        warn("cannot append to BENCH_service.json");
-        return;
-    }
-    std::fprintf(f, "%s\n", row.dump().c_str());
-    std::fclose(f);
-    bench::note("trajectory appended to BENCH_service.json");
+    bench::appendTrajectoryLine("BENCH_service.json", std::move(row));
 }
 
 } // namespace
@@ -209,7 +198,7 @@ main(int argc, char **argv)
     server.stop();
     svc.shutdown();
 
-    bench::perfFooter(timer);
+    bench::perfFooter(scale, timer);
     appendTrajectory(bench::modeName(scale), clients, searches,
             samples, wall_s, lat, frames_per_s);
     return 0;

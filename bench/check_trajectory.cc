@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Perf-trajectory gate: diff the newest line of a `BENCH_*.json`
+ * trajectory file against the most recent comparable prior line and
+ * fail on regressions.
+ *
+ *     check_trajectory FILE [--threshold F]
+ *
+ * FILE is a JSON-lines trajectory file as written by the benches'
+ * `appendTrajectoryLine` (bench/common.hh); `--threshold` is the
+ * fractional regression tolerance (default 0.25 == 25%). Exit status:
+ *
+ *   0  no comparable prior line (first run on this configuration), or
+ *      every measurement within tolerance
+ *   1  at least one measurement regressed beyond the threshold
+ *   2  usage / unreadable or malformed file
+ *
+ * The key conventions (which keys are context, which are latency vs
+ * throughput measurements) live in obs/trajectory.hh; this binary is
+ * a thin CLI over `obs::checkTrajectory` so CI and the tests exercise
+ * the same logic.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trajectory.hh"
+#include "util/cli.hh"
+
+using namespace dosa;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const double threshold = cli.getDouble("threshold", 0.25);
+    if (cli.positional().size() != 1 || threshold < 0.0) {
+        std::fprintf(stderr,
+                "usage: check_trajectory FILE [--threshold F]\n");
+        return 2;
+    }
+    const std::string &path = cli.positional()[0];
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "check_trajectory: cannot read %s\n",
+                path.c_str());
+        return 2;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+
+    std::vector<json::Value> lines;
+    std::string error;
+    if (!obs::parseTrajectory(body.str(), lines, error)) {
+        std::fprintf(stderr, "check_trajectory: %s: %s\n",
+                path.c_str(), error.c_str());
+        return 2;
+    }
+    if (lines.empty()) {
+        std::printf("%s: empty trajectory, nothing to check\n",
+                path.c_str());
+        return 0;
+    }
+
+    obs::TrajectoryCheck check =
+            obs::checkTrajectory(lines, threshold);
+    std::printf("%s (threshold %.0f%%):\n%s", path.c_str(),
+            threshold * 100.0, check.detail.c_str());
+    if (!check.compared) {
+        std::printf("no comparable prior line; nothing to gate\n");
+        return 0;
+    }
+    if (!check.ok) {
+        std::fprintf(stderr,
+                "check_trajectory: %zu regression(s) beyond %.0f%%\n",
+                check.regressions.size(), threshold * 100.0);
+        return 1;
+    }
+    return 0;
+}

@@ -14,8 +14,17 @@
  *               the named registry algorithms ("all" = every entry of
  *               Search::algorithms(); unknown names are fatal, as is
  *               passing the flag to a fixed-algorithm bench)
+ *   --trace FILE  record span tracing (src/obs) for the whole run and
+ *               dump Chrome trace-event JSON to FILE at the footer
  * and prints the rows/series the corresponding paper figure reports,
  * mirroring them to CSV files in the working directory.
+ *
+ * The perf footer every bench ends with is one snapshot of the global
+ * metrics registry (obs/metrics.hh): wall clock, the eval-cache line,
+ * then every counter/gauge/histogram the run touched. Trajectory
+ * benches additionally append one canonical-JSON line (with a
+ * `schema` field) to their `BENCH_*.json` file via
+ * `appendTrajectoryLine` — the format `bench/check_trajectory` diffs.
  */
 
 #ifndef DOSA_BENCH_COMMON_HH
@@ -23,6 +32,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -31,8 +41,12 @@
 #include "core/objective.hh"
 #include "exec/eval_cache.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "obs/trajectory.hh"
 #include "search/cosa_mapper.hh"
 #include "util/cli.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -49,6 +63,8 @@ struct Scale
     bool no_cache = false;
     /** --algo/--algos selection (validated); empty = bench default. */
     std::vector<std::string> algos;
+    /** --trace FILE: dump Chrome trace JSON here (empty = off). */
+    std::string trace_file;
 
     /** Pick quick or full value (smoke falls back to quick). */
     template <class T>
@@ -127,10 +143,13 @@ parseScale(int argc, const char *const *argv, bool algo_sweep = false)
     s.jobs = static_cast<int>(cli.getInt("jobs", 1));
     s.no_cache = cli.has("no-cache");
     s.algos = parseAlgos(cli);
+    s.trace_file = cli.get("trace", "");
     if (!algo_sweep && !s.algos.empty())
         fatal("--algo/--algos: this bench runs a fixed algorithm "
               "set and does not sweep the registry");
     globalEvalCache().setEnabled(!s.no_cache);
+    if (!s.trace_file.empty())
+        obs::globalTracer().enable();
     return s;
 }
 
@@ -201,15 +220,23 @@ class WallTimer
 };
 
 /**
- * Print the bench wall clock and the shared evaluation-cache state —
- * the standard perf footer of every figure bench. The cache mode is
+ * Print the standard perf footer of every figure bench, driven by one
+ * snapshot of the global metrics registry: the wall clock and the
+ * eval-cache line first (their wording is load-bearing — CI greps the
+ * smoke logs for "wall clock|eval cache"), then every other counter,
+ * gauge and duration histogram the run touched. The cache mode is
  * stated explicitly: under --no-cache the counters never move, and
  * printing their stale zeros would make a PERF.md row ambiguous about
  * which mode produced it.
+ *
+ * When the run was started with --trace FILE the footer also stops
+ * the tracer and dumps the Chrome trace-event JSON.
  */
 inline void
-perfFooter(const WallTimer &timer)
+perfFooter(const Scale &scale, const WallTimer &timer)
 {
+    obs::MetricsSnapshot snap = obs::globalMetrics().snapshot();
+
     if (globalEvalCache().enabled())
         std::printf("\nwall clock: %.2f s, eval cache: %s\n",
                 timer.seconds(),
@@ -218,6 +245,73 @@ perfFooter(const WallTimer &timer)
         std::printf("\nwall clock: %.2f s, eval cache: disabled "
                     "(--no-cache)\n",
                 timer.seconds());
+
+    // The rest of the snapshot. The eval-cache instruments are
+    // skipped: the line above already reports them.
+    auto skip = [](const std::string &name) {
+        return name.rfind("eval_cache.", 0) == 0;
+    };
+    bool any = false;
+    for (const auto &[name, value] : snap.counters) {
+        if (skip(name))
+            continue;
+        std::printf("%s%s=%llu", any ? " " : "metrics: ",
+                name.c_str(),
+                static_cast<unsigned long long>(value));
+        any = true;
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        if (skip(name))
+            continue;
+        std::printf("%s%s=%lld", any ? " " : "metrics: ",
+                name.c_str(), static_cast<long long>(value));
+        any = true;
+    }
+    if (any)
+        std::printf("\n");
+    for (const auto &[name, hist] : snap.histograms)
+        std::printf("  %s: %s\n", name.c_str(), hist.str().c_str());
+
+    if (!scale.trace_file.empty()) {
+        obs::Tracer &tracer = obs::globalTracer();
+        tracer.disable();
+        std::string error;
+        if (tracer.writeFile(scale.trace_file, error))
+            std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                    static_cast<unsigned long long>(
+                            tracer.eventCount()),
+                    static_cast<unsigned long long>(
+                            tracer.droppedCount()),
+                    scale.trace_file.c_str());
+        else
+            std::printf("trace: write failed: %s\n", error.c_str());
+    }
+}
+
+/**
+ * Append one canonical-JSON trajectory line to `file` (in the working
+ * directory, like the CSVs). Stamps the shared `schema` version and
+ * the wall-clock `unix_time` onto `row`; everything else — including
+ * the context keys `bench`/`mode` that make lines comparable — is the
+ * caller's. `bench/check_trajectory` diffs consecutive lines of these
+ * files; see obs/trajectory.hh for the key conventions.
+ */
+inline void
+appendTrajectoryLine(const std::string &file, json::Value row)
+{
+    row.set("schema", json::Value::number(obs::kTelemetrySchema));
+    row.set("unix_time", json::Value::number(
+            static_cast<int64_t>(std::time(nullptr))));
+    FILE *out = std::fopen(file.c_str(), "ab");
+    if (out == nullptr) {
+        std::printf("trajectory: cannot append to %s\n", file.c_str());
+        return;
+    }
+    std::string line = row.dump();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fclose(out);
+    note("trajectory line appended to " + file);
 }
 
 } // namespace dosa::bench

@@ -13,6 +13,9 @@
  *   --workers N  concurrent searches (default 2)
  *   --queue N    admission-queue depth beyond the running searches
  *                (default 16; overflow gets a `queue_full` error)
+ *   --trace FILE record span tracing (src/obs) for the daemon's whole
+ *                lifetime and dump Chrome trace-event JSON (loadable
+ *                in Perfetto / chrome://tracing) to FILE on shutdown
  *
  * The daemon serves until stdin reaches EOF (Ctrl-D, or the parent
  * closing the pipe), then prints the per-endpoint stats footer and
@@ -27,6 +30,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/trace.hh"
 #include "service/search_service.hh"
 #include "service/tcp_server.hh"
 #include "util/cli.hh"
@@ -41,6 +45,9 @@ main(int argc, char **argv)
     service::ServiceConfig config;
     config.max_concurrent = int(cli.getInt("workers", 2));
     config.max_queue = int(cli.getInt("queue", 16));
+    const std::string trace_file = cli.get("trace", "");
+    if (!trace_file.empty())
+        obs::globalTracer().enable();
 
     service::SearchService svc(config);
     service::TcpServer server(svc,
@@ -68,6 +75,20 @@ main(int argc, char **argv)
 
     server.stop();
     svc.shutdown();
+
+    if (!trace_file.empty()) {
+        obs::Tracer &tracer = obs::globalTracer();
+        tracer.disable();
+        if (tracer.writeFile(trace_file, error))
+            std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                    static_cast<unsigned long long>(
+                            tracer.eventCount()),
+                    static_cast<unsigned long long>(
+                            tracer.droppedCount()),
+                    trace_file.c_str());
+        else
+            std::printf("trace: write failed: %s\n", error.c_str());
+    }
     std::printf("bye\n");
     return 0;
 }

@@ -10,11 +10,52 @@
 #include <mutex>
 
 #include "exec/eval_cache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace dosa {
 
 namespace {
+
+/**
+ * Turns the phase-callback stream into trace spans: each phase
+ * announcement closes the span of the previous phase and opens the
+ * next. Phase names are the `const char *` literals the searchers
+ * pass (SearchControl contract), so storing the pointer is safe.
+ */
+class PhaseSpanTracker
+{
+  public:
+    void
+    transition(const char *next)
+    {
+        obs::Tracer &tracer = obs::globalTracer();
+        if (!tracer.enabled()) {
+            current_ = nullptr;
+            return;
+        }
+        uint64_t now = tracer.nowNs();
+        if (current_ != nullptr)
+            tracer.recordSpan(current_, "search.phase", start_ns_, now);
+        current_ = next;
+        start_ns_ = now;
+    }
+
+    void
+    finish()
+    {
+        obs::Tracer &tracer = obs::globalTracer();
+        if (current_ != nullptr && tracer.enabled())
+            tracer.recordSpan(current_, "search.phase", start_ns_,
+                              tracer.nowNs());
+        current_ = nullptr;
+    }
+
+  private:
+    const char *current_ = nullptr;
+    uint64_t start_ns_ = 0;
+};
 
 std::vector<const Searcher *> &
 registryStorage()
@@ -183,12 +224,14 @@ runSearch(const SearchSpec &spec, SearchObserver *observer)
     const Searcher *searcher = Search::find(spec.algorithm);
 
     CacheModeGuard cache_guard(spec.cache);
+    obs::TraceSpan run_span("runSearch", "search");
+    obs::counter("api.searches").add(1);
 
-    // Bridge the observer onto the cooperative run control the
-    // searchers poll; without an observer the control still enforces
-    // the budget and deadline.
+    // Bridge the observer (and the phase-span tracker) onto the
+    // cooperative run control the searchers poll; without an observer
+    // the control still enforces the budget and deadline.
+    PhaseSpanTracker phases;
     SearchControl::SampleFn on_sample;
-    SearchControl::PhaseFn on_phase;
     if (observer != nullptr) {
         on_sample = [observer](size_t count, double edp,
                                double best_edp, bool improved) {
@@ -198,10 +241,13 @@ runSearch(const SearchSpec &spec, SearchObserver *observer)
                 observer->onImprovement(event);
             return keep_going;
         };
-        on_phase = [observer](const char *phase) {
-            observer->onPhase(phase);
-        };
     }
+    SearchControl::PhaseFn on_phase = [observer,
+                                       &phases](const char *phase) {
+        phases.transition(phase);
+        if (observer != nullptr)
+            observer->onPhase(phase);
+    };
     SearchControl control(
             static_cast<size_t>(spec.budget.max_samples),
             spec.budget.deadline_s, std::move(on_sample),
@@ -210,6 +256,9 @@ runSearch(const SearchSpec &spec, SearchObserver *observer)
     control.phase("setup");
     SearchReport report = searcher->run(spec, &control);
     control.phase("done");
+    phases.finish();
+    obs::counter("api.samples")
+        .add(static_cast<uint64_t>(report.search.trace.size()));
     // The result leaves the driver's scope; the control dies here.
     report.search.control = nullptr;
     return report;

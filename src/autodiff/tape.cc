@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace dosa::ad {
@@ -255,6 +256,9 @@ Tape::replayBatch(std::span<const double> leaf_sets,
     if (out.size() < L * outputs.size())
         panic("Tape::replayBatch: output span too small");
     const size_t n = values_.size();
+    obs::TraceSpan span("tape.replayBatch", "autodiff",
+                        static_cast<int64_t>(L),
+                        static_cast<int64_t>(n));
     batch_lanes_ = L;
     batch_v_.resize(n * L);
     batch_w0_.resize(n * L);

@@ -14,6 +14,7 @@
 #include "autodiff/var.hh"
 #include "exec/eval_cache.hh"
 #include "model/analytical.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace dosa {
@@ -310,6 +311,29 @@ ObjectiveEngine::extract(const std::vector<double> &x)
     out_.grad.resize(x.size());
     for (size_t i = 0; i < x.size(); ++i)
         out_.grad[i] = adj_[size_t(tape_.leaf(i))];
+}
+
+ObjectiveEngine::~ObjectiveEngine()
+{
+    // Engines are short-lived (one per start point / task): flushing
+    // the lifetime totals here keeps the eval/replay hot paths free of
+    // shared-counter traffic while the global registry still sees
+    // every engine's work.
+    if (builds_ == 0 && replays_ == 0 && batch_sweeps_ == 0)
+        return;
+    static struct
+    {
+        obs::Counter &builds = obs::counter("objective.builds");
+        obs::Counter &replays = obs::counter("objective.replays");
+        obs::Counter &batch_sweeps =
+            obs::counter("objective.batch_sweeps");
+        obs::Counter &batch_candidates =
+            obs::counter("objective.batch_candidates");
+    } counters;
+    counters.builds.add(builds_);
+    counters.replays.add(replays_);
+    counters.batch_sweeps.add(batch_sweeps_);
+    counters.batch_candidates.add(batch_candidates_);
 }
 
 const ObjectiveEval &

@@ -235,6 +235,14 @@ Factors<double> unpackFactors(const std::vector<double> &x,
 class ObjectiveEngine
 {
   public:
+    ObjectiveEngine() = default;
+    // Non-copyable: the destructor flushes this engine's counters into
+    // the global metrics registry exactly once (obs/metrics.hh), and
+    // the tape/arena state is not meaningfully copyable anyway.
+    ObjectiveEngine(const ObjectiveEngine &) = delete;
+    ObjectiveEngine &operator=(const ObjectiveEngine &) = delete;
+    ~ObjectiveEngine();
+
     /**
      * Evaluate loss and gradient at x (layers.size()*kVarsPerLayer).
      *

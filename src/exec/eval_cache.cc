@@ -5,6 +5,7 @@
 #include "exec/eval_cache.hh"
 
 #include "model/reference.hh"
+#include "obs/metrics.hh"
 
 namespace dosa {
 
@@ -140,6 +141,21 @@ EvalCache &
 globalEvalCache()
 {
     static EvalCache cache;
+    // One-time hookup of the global cache's own counters into metrics
+    // snapshots (collector pull: the eval hot path gains zero cost).
+    static const bool registered = [] {
+        obs::globalMetrics().registerCollector(
+            [](obs::MetricsSnapshot &snap) {
+                CacheStats s = globalEvalCache().stats();
+                snap.counters["eval_cache.evictions"] = s.evictions;
+                snap.counters["eval_cache.hits"] = s.hits;
+                snap.counters["eval_cache.misses"] = s.misses;
+                snap.gauges["eval_cache.entries"] =
+                    static_cast<int64_t>(s.entries);
+            });
+        return true;
+    }();
+    (void)registered;
     return cache;
 }
 

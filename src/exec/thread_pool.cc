@@ -7,7 +7,28 @@
 
 #include <atomic>
 
+#include "obs/metrics.hh"
+
 namespace dosa {
+
+namespace {
+
+/** Pool-wide metrics (handles cached once; one atomic op per use). */
+struct PoolMetrics
+{
+    obs::Counter &regions = obs::counter("exec.pool.regions");
+    obs::Counter &tasks = obs::counter("exec.pool.tasks");
+    obs::Gauge &inflight = obs::gauge("exec.pool.inflight");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+} // namespace
 
 struct ThreadPool::Job
 {
@@ -100,6 +121,9 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 {
     if (n == 0)
         return;
+    PoolMetrics &pm = poolMetrics();
+    pm.regions.add(1);
+    pm.tasks.add(n);
     if (workers_.empty() || n == 1) {
         for (size_t i = 0; i < n; ++i)
             fn(i);
@@ -107,6 +131,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     }
 
     std::lock_guard<std::mutex> submit(submit_mtx_);
+    pm.inflight.add(static_cast<int64_t>(n));
     auto job = std::make_shared<Job>();
     job->n = n;
     job->fn = &fn;
@@ -127,6 +152,7 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         });
         job_.reset();
     }
+    pm.inflight.add(-static_cast<int64_t>(n));
     // Stragglers may still hold their shared_ptr copy, but every index
     // has finished: only the claim counter is touched after this point.
     if (job->error)

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Process-wide metrics registry: one vocabulary for every counter,
+ * gauge and duration histogram in the system.
+ *
+ * Before this subsystem the telemetry was three disconnected
+ * dialects — `CacheStats` counters on the eval cache, per-endpoint
+ * `EndpointStats` in the service, and hand-rolled perf footers in
+ * every bench. The registry unifies them: a source either owns
+ * registry *instruments* (cheap atomics it bumps inline) or stays
+ * push-free and registers a *collector* that contributes its counters
+ * at snapshot time (the eval cache and divisor memo report this way,
+ * so their hot paths gain zero cost).
+ *
+ * Contracts, in order:
+ *
+ * - *Observability is invisible.* Instruments never feed back into
+ *   any computation: enabling or disabling the registry cannot change
+ *   a search result by a single bit (pinned by tests/test_obs.cc).
+ * - *Thread-safe and cheap.* Instrument handles are stable references
+ *   to atomics (callers cache them in function-local statics); the
+ *   name->instrument maps are mutex-striped like the EvalCache so
+ *   first-use lookups from parallel searchers do not contend.
+ * - *Deterministic snapshots.* `snapshot()` returns every value
+ *   sorted by name, and `MetricsSnapshot::toJson()` serializes via
+ *   `util/json` (sorted keys, canonical number tokens), so the same
+ *   state always produces the same bytes — the property the service
+ *   `stats` frame and the bench trajectory lines are built on.
+ */
+
+#ifndef DOSA_OBS_METRICS_HH
+#define DOSA_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace dosa::obs {
+
+class MetricsRegistry;
+
+/** Monotone event counter (relaxed atomic; exact under contention). */
+class Counter
+{
+  public:
+    /** Count `n` events (no-op while the registry is disabled). */
+    void
+    add(uint64_t n = 1)
+    {
+        if (enabled_->load(std::memory_order_relaxed))
+            v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Counter(const std::atomic<bool> *enabled)
+        : enabled_(enabled)
+    {}
+
+    std::atomic<uint64_t> v_{0};
+    const std::atomic<bool> *enabled_;
+};
+
+/** Last-value-wins level (queue depth, in-flight tasks, sizes). */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        if (enabled_->load(std::memory_order_relaxed))
+            v_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Add a (possibly negative) delta. */
+    void
+    add(int64_t d)
+    {
+        if (enabled_->load(std::memory_order_relaxed))
+            v_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Gauge(const std::atomic<bool> *enabled) : enabled_(enabled)
+    {}
+
+    std::atomic<int64_t> v_{0};
+    const std::atomic<bool> *enabled_;
+};
+
+/**
+ * Duration histogram over power-of-two nanosecond buckets (bucket i
+ * counts durations in [2^i, 2^(i+1)) ns), plus exact count / sum /
+ * min / max. Quantiles read from the bucket bounds are therefore
+ * upper estimates with at most 2x resolution — the service keeps its
+ * exact per-endpoint `Summary` for tighter tails; this is the cheap
+ * always-on distribution every subsystem can afford.
+ */
+class Histogram
+{
+  public:
+    /** Bucket count: 2^48 ns ~ 3.3 days caps any sane duration. */
+    static constexpr size_t kBuckets = 48;
+
+    /** Record one duration in seconds (negative clamps to 0). */
+    void record(double seconds);
+
+    /** Record one duration in nanoseconds. */
+    void recordNs(uint64_t ns);
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(const std::atomic<bool> *enabled)
+        : enabled_(enabled)
+    {}
+
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_ns_{0};
+    std::atomic<uint64_t> min_ns_{UINT64_MAX};
+    std::atomic<uint64_t> max_ns_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    const std::atomic<bool> *enabled_;
+};
+
+/**
+ * Point-in-time copy of every metric, sorted by name. The unit of
+ * exchange between the registry and its consumers: the service
+ * `stats` frame carries one, every bench perf footer prints one, and
+ * `toJson`/`fromJson` round-trip it over the wire byte-stably.
+ */
+struct MetricsSnapshot
+{
+    /** Serialized histogram state (durations in seconds). */
+    struct HistogramData
+    {
+        uint64_t count = 0;
+        double sum_s = 0.0;
+        double min_s = 0.0; ///< 0 when count == 0
+        double max_s = 0.0;
+        /** Non-empty buckets as (upper bound in seconds, count). */
+        std::vector<std::pair<double, uint64_t>> buckets;
+
+        /**
+         * Upper estimate of the q-th quantile (q in [0,1]) from the
+         * bucket bounds, clamped to [min_s, max_s]; 0 when empty.
+         */
+        double quantile(double q) const;
+
+        /** One-line "n=... mean=... p50<=... p99<=... max=..." text. */
+        std::string str() const;
+    };
+
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramData> histograms;
+
+    /**
+     * Canonical JSON object {"counters":{...},"gauges":{...},
+     * "histograms":{...}} — sorted keys, canonical number tokens, so
+     * equal snapshots always serialize to equal bytes.
+     */
+    json::Value toJson() const;
+
+    /**
+     * Strict inverse of toJson. False plus a diagnostic (prefixed
+     * with `path`) on any malformed value; never crashes.
+     */
+    static bool fromJson(const json::Value &value,
+                         const std::string &path, MetricsSnapshot &out,
+                         std::string &error);
+};
+
+/**
+ * The striped name->instrument registry. Instruments are created on
+ * first use and live for the registry's lifetime, so the returned
+ * references are stable — callers cache them in function-local
+ * statics and pay one relaxed atomic op per event after that.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Shard count for the name maps; a power of two. */
+    static constexpr size_t kNumShards = 16;
+
+    /**
+     * A pull-style metrics source: called during `snapshot()` to
+     * contribute values for state it already counts elsewhere (the
+     * eval cache's CacheStats, the divisor memo). Collectors must be
+     * thread-safe and must not call back into the registry.
+     */
+    using Collector = std::function<void(MetricsSnapshot &)>;
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The counter named `name`, created on first use. */
+    Counter &counter(std::string_view name);
+
+    /** The gauge named `name`, created on first use. */
+    Gauge &gauge(std::string_view name);
+
+    /** The histogram named `name`, created on first use. */
+    Histogram &histogram(std::string_view name);
+
+    /** Register a pull-style source (kept for the registry's life). */
+    void registerCollector(Collector fn);
+
+    /**
+     * Copy of every instrument plus every collector's contribution,
+     * sorted by name.
+     */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Gate recording on registry-owned instruments (collectors keep
+     * reporting their sources' live state). Enabled by default;
+     * disabling makes add/set/record no-ops but never changes any
+     * computation either way.
+     */
+    void setEnabled(bool enabled) { enabled_.store(enabled); }
+    bool enabled() const { return enabled_.load(); }
+
+    /** Zero every registry-owned instrument (names survive). */
+    void reset();
+
+  private:
+    /** One instrument of any kind, keyed by name within a shard. */
+    struct Instrument
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mtx;
+        std::map<std::string, Instrument> map;
+    };
+
+    Shard &shardFor(std::string_view name);
+    Instrument &instrument(std::string_view name);
+
+    std::array<Shard, kNumShards> shards_;
+    std::atomic<bool> enabled_{true};
+    mutable std::mutex collectors_mtx_;
+    std::vector<Collector> collectors_;
+};
+
+/** The process-wide registry every subsystem reports into. */
+MetricsRegistry &globalMetrics();
+
+/** Shorthand for globalMetrics().counter(name). */
+inline Counter &
+counter(std::string_view name)
+{
+    return globalMetrics().counter(name);
+}
+
+/** Shorthand for globalMetrics().gauge(name). */
+inline Gauge &
+gauge(std::string_view name)
+{
+    return globalMetrics().gauge(name);
+}
+
+/** Shorthand for globalMetrics().histogram(name). */
+inline Histogram &
+histogram(std::string_view name)
+{
+    return globalMetrics().histogram(name);
+}
+
+} // namespace dosa::obs
+
+#endif // DOSA_OBS_METRICS_HH

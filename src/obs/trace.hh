@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Span tracing on per-thread ring buffers, dumped as Chrome
+ * trace-event JSON (load the file in Perfetto / chrome://tracing).
+ *
+ * The tracer answers the question metrics cannot: *where does the
+ * time go inside one request* — searcher phases, service queue
+ * waits, batch-replay sweeps — on a live process. Design
+ * constraints, in order:
+ *
+ * - *Near-zero cost when disabled.* Every record path starts with one
+ *   relaxed atomic load and returns; `TraceSpan` does not even read
+ *   the clock. Benches run with tracing off by default and must not
+ *   regress (pinned by the fig7 acceptance bar).
+ * - *Bounded memory, TSan-clean.* Each thread records into its own
+ *   fixed-capacity ring (oldest events overwritten, drops counted)
+ *   guarded by a per-ring mutex that is uncontended except while a
+ *   dump walks the rings. No event ever allocates.
+ * - *Observability is invisible.* Recording never feeds back into a
+ *   computation; enabling tracing cannot change a search result by a
+ *   single bit (pinned by tests/test_obs.cc).
+ *
+ * Event names and categories are `const char *` and are stored by
+ * pointer, not copied: pass string literals (or strings that outlive
+ * the dump), the same rule the Chrome tracing macros impose.
+ */
+
+#ifndef DOSA_OBS_TRACE_HH
+#define DOSA_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace dosa::obs {
+
+/**
+ * The process-wide trace recorder. Threads register a private ring on
+ * first record; `toJson()` merges all rings into one Chrome
+ * trace-event document. Clocked on `steady_clock` relative to the
+ * `enable()` epoch, so timestamps are monotone and start near zero.
+ */
+class Tracer
+{
+  public:
+    /** Default per-thread ring capacity, in events. */
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Start recording: resets the epoch and drops any events from a
+     * previous enable. No-op when already enabled.
+     */
+    void enable();
+
+    /** Stop recording (already-recorded events stay dumpable). */
+    void disable();
+
+    /** One relaxed load — the whole cost of a disabled record path. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Set the per-thread ring capacity (events). Takes effect for
+     * rings registered after the call; call before `enable()`.
+     */
+    void setCapacity(size_t events);
+
+    /** Nanoseconds since the enable() epoch (0 when never enabled). */
+    uint64_t nowNs() const;
+
+    /** A steady_clock time point mapped onto the epoch timeline. */
+    uint64_t sinceEpochNs(std::chrono::steady_clock::time_point t) const;
+
+    /**
+     * Record a complete span [start_ns, end_ns] on the calling
+     * thread's ring. Args < 0 are "absent" and omitted from the JSON.
+     */
+    void recordSpan(const char *name, const char *cat, uint64_t start_ns,
+                    uint64_t end_ns, int64_t arg0 = -1, int64_t arg1 = -1);
+
+    /** Record an instant event at now. */
+    void recordInstant(const char *name, const char *cat,
+                       int64_t arg0 = -1);
+
+    /** Events currently retained across all rings. */
+    size_t eventCount() const;
+
+    /** Events overwritten by ring wraparound since enable(). */
+    uint64_t droppedCount() const;
+
+    /**
+     * All retained events as a Chrome trace-event document:
+     * {"traceEvents":[{"name","cat","ph","ts","dur","pid","tid",...}]}
+     * with timestamps in microseconds, events sorted by (ts, tid),
+     * serialized canonically by util/json (parse-back is tested).
+     */
+    json::Value toJson() const;
+
+    /**
+     * Write `toJson().dump()` to `path`. False + `error` on I/O
+     * failure.
+     */
+    bool writeFile(const std::string &path, std::string &error) const;
+
+  private:
+    /** One recorded event; "X" (complete) or "i" (instant). */
+    struct Event
+    {
+        const char *name;
+        const char *cat;
+        uint64_t ts_ns;
+        uint64_t dur_ns; ///< 0 for instants
+        int64_t arg0;    ///< < 0 means absent
+        int64_t arg1;
+        char ph; ///< 'X' or 'i'
+    };
+
+    /** A thread's private ring; mtx is uncontended except in dumps. */
+    struct Ring
+    {
+        std::mutex mtx;
+        std::vector<Event> events; ///< capacity fixed at registration
+        size_t next = 0;           ///< overwrite cursor once full
+        uint64_t recorded = 0;     ///< total events ever recorded
+        uint64_t tid = 0;          ///< stable small id for the JSON
+    };
+
+    Ring &threadRing();
+    void push(const Event &ev);
+
+    mutable std::mutex mtx_; ///< guards rings_/capacity_/tids
+    std::vector<std::shared_ptr<Ring>> rings_;
+    size_t capacity_ = kDefaultCapacity;
+    uint64_t next_tid_ = 1;
+    /** Stamped by enable() from a process-unique counter, so threads
+     *  re-register their rings (and never match a stale handle onto a
+     *  different Tracer instance at a recycled address). */
+    std::atomic<uint64_t> generation_{0};
+    std::atomic<bool> enabled_{false};
+    /** Epoch as ns on the steady_clock timeline (atomic: read by
+     *  every recording thread, rewritten by enable()). */
+    std::atomic<uint64_t> epoch_ns_{0};
+};
+
+/** The process-wide tracer (the `--trace` flags enable it). */
+Tracer &globalTracer();
+
+/**
+ * RAII span on the global tracer: captures the start time at
+ * construction (when tracing is enabled) and records one complete
+ * event at destruction. A disabled tracer makes both ends a single
+ * relaxed load. `name`/`cat` must be literals (see file comment).
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name, const char *cat = "dosa",
+                       int64_t arg0 = -1, int64_t arg1 = -1)
+        : name_(name), cat_(cat), arg0_(arg0), arg1_(arg1)
+    {
+        Tracer &t = globalTracer();
+        if (t.enabled()) {
+            active_ = true;
+            start_ns_ = t.nowNs();
+        }
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    ~TraceSpan()
+    {
+        if (active_) {
+            Tracer &t = globalTracer();
+            t.recordSpan(name_, cat_, start_ns_, t.nowNs(), arg0_,
+                         arg1_);
+        }
+    }
+
+    /** Attach (or update) the args recorded at destruction. */
+    void
+    setArgs(int64_t arg0, int64_t arg1 = -1)
+    {
+        arg0_ = arg0;
+        arg1_ = arg1;
+    }
+
+  private:
+    const char *name_;
+    const char *cat_;
+    int64_t arg0_;
+    int64_t arg1_;
+    uint64_t start_ns_ = 0;
+    bool active_ = false;
+};
+
+} // namespace dosa::obs
+
+#endif // DOSA_OBS_TRACE_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Trajectory-line parsing, comparability, and regression checking.
+ */
+
+#include "obs/trajectory.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dosa::obs {
+
+namespace {
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/** Context fields of a line: everything that is not a measurement,
+ *  with an absent `schema` normalized to 1 (pre-versioning lines). */
+json::Value
+contextOf(const json::Value &line)
+{
+    json::Value ctx = json::Value::object();
+    for (const auto &[key, v] : line.members()) {
+        if (metricKind(key) == MetricKind::Context)
+            ctx.set(key, v);
+    }
+    if (ctx.find("schema") == nullptr)
+        ctx.set("schema", json::Value::number(uint64_t(1)));
+    return ctx;
+}
+
+std::string
+fmt(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+    return buf;
+}
+
+} // namespace
+
+MetricKind
+metricKind(std::string_view key)
+{
+    if (key == "unix_time")
+        return MetricKind::Ignored;
+    if (endsWith(key, "_per_s"))
+        return MetricKind::HigherBetter;
+    if (endsWith(key, "_s") || endsWith(key, "_us") ||
+        endsWith(key, "_ns"))
+        return MetricKind::LowerBetter;
+    return MetricKind::Context;
+}
+
+bool
+parseTrajectory(const std::string &text,
+                std::vector<json::Value> &lines, std::string &error)
+{
+    lines.clear();
+    size_t pos = 0;
+    size_t lineno = 0;
+    while (pos < text.size()) {
+        size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string_view line(text.data() + pos, end - pos);
+        pos = end + 1;
+        lineno++;
+        if (line.find_first_not_of(" \t\r") == std::string_view::npos)
+            continue;
+        json::Value v;
+        std::string perr;
+        if (!json::parse(line, v, perr)) {
+            error = "line " + std::to_string(lineno) + ": " + perr;
+            return false;
+        }
+        if (!v.isObject()) {
+            error = "line " + std::to_string(lineno) +
+                    ": trajectory lines must be JSON objects";
+            return false;
+        }
+        lines.push_back(std::move(v));
+    }
+    return true;
+}
+
+TrajectoryCheck
+checkTrajectory(const std::vector<json::Value> &lines, double threshold)
+{
+    TrajectoryCheck out;
+    if (lines.size() < 2) {
+        out.detail = "fewer than two lines; nothing to compare\n";
+        return out;
+    }
+    const json::Value &newest = lines.back();
+    json::Value want_ctx = contextOf(newest);
+    const json::Value *prior = nullptr;
+    for (size_t i = lines.size() - 1; i-- > 0;) {
+        if (contextOf(lines[i]).dump() == want_ctx.dump()) {
+            prior = &lines[i];
+            break;
+        }
+    }
+    if (prior == nullptr) {
+        out.detail = "no prior line with a matching context; "
+                     "nothing to compare\n";
+        return out;
+    }
+    out.compared = true;
+    std::string report;
+    for (const auto &[key, nv] : newest.members()) {
+        MetricKind kind = metricKind(key);
+        if (kind != MetricKind::LowerBetter &&
+            kind != MetricKind::HigherBetter)
+            continue;
+        const json::Value *ov = prior->find(key);
+        if (ov == nullptr || !ov->isNumber() || !nv.isNumber())
+            continue;
+        double nu = nv.asDouble();
+        double old = ov->asDouble();
+        if (!(std::isfinite(nu) && std::isfinite(old)) || old <= 0.0)
+            continue;
+        double ratio = nu / old;
+        bool regressed = kind == MetricKind::LowerBetter
+                             ? ratio > 1.0 + threshold
+                             : ratio < 1.0 - threshold;
+        std::string dir =
+            kind == MetricKind::LowerBetter ? "slower" : "lower";
+        std::string msg = key + ": " + fmt(old) + " -> " + fmt(nu) +
+                          " (" + fmt((ratio - 1.0) * 100.0) + "%, " +
+                          dir + "-is-worse)";
+        if (regressed) {
+            out.ok = false;
+            out.regressions.push_back(msg);
+            report += "REGRESSION " + msg + "\n";
+        } else {
+            report += "ok         " + msg + "\n";
+        }
+    }
+    if (report.empty())
+        report = "comparable prior found but no shared measurements\n";
+    out.detail = report;
+    return out;
+}
+
+} // namespace dosa::obs

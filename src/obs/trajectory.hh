@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Perf-trajectory diffing for the `bench/BENCH_*.json` files.
+ *
+ * Every bench appends one canonical-JSON object per run (a
+ * "trajectory line") mixing *context* fields that identify the
+ * configuration (bench name, mode, jobs, schema, ...) with
+ * *measurement* fields named by convention:
+ *
+ * - keys ending in `_per_s`  — throughput, higher is better
+ * - keys ending in `_s`/`_us`/`_ns` (and not `_per_s`) — latency,
+ *   lower is better
+ * - `unix_time` — ignored
+ * - everything else — context; two lines are comparable only when
+ *   all their context fields match exactly
+ *
+ * `checkTrajectory` compares the newest line against the most recent
+ * comparable prior line and flags any measurement that regressed by
+ * more than the threshold — the CI gate behind `bench/check_trajectory`.
+ * Lines without a `schema` field are treated as schema 1 (the format
+ * the PR-6 seed files used before versioning existed).
+ */
+
+#ifndef DOSA_OBS_TRAJECTORY_HH
+#define DOSA_OBS_TRAJECTORY_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace dosa::obs {
+
+/** Schema version stamped on trajectory lines and stats frames. */
+inline constexpr uint64_t kTelemetrySchema = 1;
+
+/** How a trajectory key participates in the regression check. */
+enum class MetricKind
+{
+    Context,      ///< must match exactly for lines to be comparable
+    LowerBetter,  ///< latency-like measurement
+    HigherBetter, ///< throughput-like measurement
+    Ignored,      ///< timestamps etc.
+};
+
+/** Classification by the naming convention in the file comment. */
+MetricKind metricKind(std::string_view key);
+
+/**
+ * Parse a JSON-lines trajectory file body (one object per line,
+ * blank lines skipped). False + `error` on any malformed line or
+ * non-object value.
+ */
+bool parseTrajectory(const std::string &text,
+                     std::vector<json::Value> &lines,
+                     std::string &error);
+
+/** Result of diffing the newest line against its comparable prior. */
+struct TrajectoryCheck
+{
+    bool ok = true;       ///< false iff a regression exceeded threshold
+    bool compared = false; ///< false when no comparable prior exists
+    std::vector<std::string> regressions; ///< one message per metric
+    std::string detail; ///< human-readable multi-line report
+};
+
+/**
+ * Diff the last line of `lines` against the most recent earlier line
+ * whose context fields all match. `threshold` is fractional (0.25 ==
+ * 25%): a lower-better metric fails when new > old * (1 + threshold),
+ * a higher-better one when new < old * (1 - threshold).
+ */
+TrajectoryCheck checkTrajectory(const std::vector<json::Value> &lines,
+                                double threshold);
+
+} // namespace dosa::obs
+
+#endif // DOSA_OBS_TRAJECTORY_HH

@@ -9,12 +9,31 @@
 #include <chrono>
 
 #include "api/search_api.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace dosa::service {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/** Service-wide metrics (handles cached once; see obs/metrics.hh). */
+struct ServiceMetrics
+{
+    obs::Counter &admitted = obs::counter("service.search.admitted");
+    obs::Counter &rejected = obs::counter("service.search.rejected");
+    obs::Histogram &queue_wait =
+        obs::histogram("service.search.queue_wait_s");
+    obs::Histogram &run_time = obs::histogram("service.search.run_s");
+};
+
+ServiceMetrics &
+serviceMetrics()
+{
+    static ServiceMetrics m;
+    return m;
+}
 
 double
 secondsSince(Clock::time_point t0)
@@ -88,6 +107,8 @@ SearchService::SearchService(ServiceConfig config)
         config_.max_concurrent = 1;
     if (config_.max_queue < 0)
         config_.max_queue = 0;
+    if (config_.stats_window < 1)
+        config_.stats_window = 1;
     // Pre-seed every endpoint so `stats` always lists all four.
     endpoints_["search"];
     endpoints_["stats"];
@@ -110,7 +131,12 @@ SearchService::submit(const std::string &line,
     Clock::time_point t0 = Clock::now();
     Request req;
     std::string error;
-    if (!decodeRequest(line, req, error)) {
+    bool decoded;
+    {
+        obs::TraceSpan decode_span("service.decode", "service");
+        decoded = decodeRequest(line, req, error);
+    }
+    if (!decoded) {
         // Unidentifiable traffic lands on the "_protocol" endpoint;
         // the recovered id (possibly empty) still correlates.
         replyError("_protocol", req.id, errc::bad_request, error,
@@ -125,7 +151,8 @@ SearchService::submit(const std::string &line,
         std::string frame = req.kind == Request::Kind::Ping
                 ? pongFrame(req.id)
                 : statsFrame(req.id, config_.name, config_.version,
-                          stats());
+                          stats(), uint64_t(config_.stats_window),
+                          obs::globalMetrics().snapshot());
         bool delivered = sink->send(frame);
         double dt = secondsSince(t0);
         accountRequest(endpoint, dt);
@@ -156,6 +183,7 @@ SearchService::submit(const std::string &line,
         if (!stopping_.load(std::memory_order_relaxed)) {
             if (queue_.size() >= size_t(config_.max_queue)) {
                 lock.unlock();
+                serviceMetrics().rejected.add(1);
                 replyError("search", req.id, errc::queue_full,
                         "search queue is full (" +
                                 std::to_string(config_.max_queue) +
@@ -163,12 +191,15 @@ SearchService::submit(const std::string &line,
                         *sink, secondsSince(t0));
                 return;
             }
-            queue_.push_back(Job{std::move(req), std::move(sink)});
+            queue_.push_back(Job{std::move(req), std::move(sink),
+                    Clock::now()});
             lock.unlock();
+            serviceMetrics().admitted.add(1);
             work_cv_.notify_one();
             return;
         }
     }
+    serviceMetrics().rejected.add(1);
     replyError("search", req.id, errc::shutdown,
             "service is shutting down", *sink, secondsSince(t0));
 }
@@ -190,6 +221,18 @@ SearchService::workerLoop()
             queue_.pop_front();
             ++active_;
         }
+        // Queue wait: admission to dequeue. The span reconstructs the
+        // interval from the stored admission time so it appears on the
+        // worker's timeline without a cross-thread handoff.
+        Clock::time_point dequeued = Clock::now();
+        serviceMetrics().queue_wait.record(
+                std::chrono::duration<double>(dequeued - job.enqueued)
+                        .count());
+        obs::Tracer &tracer = obs::globalTracer();
+        if (tracer.enabled())
+            tracer.recordSpan("service.queue", "service",
+                    tracer.sinceEpochNs(job.enqueued),
+                    tracer.sinceEpochNs(dequeued));
         runJob(job);
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -212,8 +255,12 @@ SearchService::runJob(Job &job)
     }
 
     StreamObserver observer(*job.sink, job.req.id, stopping_);
-    SearchReport report = runSearch(job.req.spec, &observer);
+    SearchReport report = [&] {
+        obs::TraceSpan run_span("service.run", "service");
+        return runSearch(job.req.spec, &observer);
+    }();
     double dt = secondsSince(t0);
+    serviceMetrics().run_time.record(dt);
     uint64_t samples = uint64_t(report.search.trace.size());
 
     if (observer.shutdownCancel()) {
@@ -227,7 +274,7 @@ SearchService::runJob(Job &job)
             ++ep.requests;
             ++ep.errors;
             ep.last_error = message;
-            ep.times_s.push_back(dt);
+            pushTime(ep, dt);
         }
         appendRecord({job.req.id, "search",
                 RequestRecord::Outcome::Error, errc::shutdown,
@@ -241,6 +288,7 @@ SearchService::runJob(Job &job)
         // cancelled the search within one sample.
         outcome = RequestRecord::Outcome::Cancelled;
     } else {
+        obs::TraceSpan reply_span("service.reply", "service");
         bool delivered =
                 job.sink->send(doneFrame(job.req.id, report));
         outcome = delivered ? RequestRecord::Outcome::Done
@@ -264,7 +312,7 @@ SearchService::replyError(const std::string &endpoint,
         ++ep.requests;
         ++ep.errors;
         ep.last_error = message;
-        ep.times_s.push_back(seconds);
+        pushTime(ep, seconds);
     }
     appendRecord({id, endpoint, RequestRecord::Outcome::Error, code,
             0, seconds});
@@ -277,7 +325,20 @@ SearchService::accountRequest(const std::string &endpoint,
     std::lock_guard<std::mutex> lock(mutex_);
     Endpoint &ep = endpoints_[endpoint];
     ++ep.requests;
-    ep.times_s.push_back(seconds);
+    pushTime(ep, seconds);
+}
+
+void
+SearchService::pushTime(Endpoint &ep, double seconds)
+{
+    size_t window = size_t(config_.stats_window);
+    if (ep.times_s.size() < window) {
+        ep.times_s.push_back(seconds);
+        return;
+    }
+    // Ring overwrite: percentiles cover the last `window` requests.
+    ep.times_s[ep.times_next] = seconds;
+    ep.times_next = (ep.times_next + 1) % window;
 }
 
 void
@@ -285,6 +346,8 @@ SearchService::appendRecord(RequestRecord record)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     history_.push_back(std::move(record));
+    while (history_.size() > size_t(config_.stats_window))
+        history_.pop_front();
 }
 
 void
@@ -333,7 +396,7 @@ std::vector<RequestRecord>
 SearchService::history() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return history_;
+    return {history_.begin(), history_.end()};
 }
 
 } // namespace dosa::service

@@ -32,6 +32,7 @@
 #define DOSA_SERVICE_SEARCH_SERVICE_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -58,6 +59,14 @@ struct ServiceConfig
     int max_concurrent = 2;
     /** Queued searches beyond the running ones before `queue_full`. */
     int max_queue = 16;
+    /**
+     * Retention window (per endpoint) of the processing-time ring and
+     * of the request history: a long-lived daemon keeps at most this
+     * many recent timings/records per endpoint, so stats memory is
+     * bounded. `Summary` percentiles in the `stats` frame cover the
+     * retained window; the frame reports it as `window` (min 1).
+     */
+    int stats_window = 1024;
 };
 
 /**
@@ -142,6 +151,8 @@ class SearchService
     {
         Request req;
         std::shared_ptr<FrameSink> sink;
+        /** Admission time, for the queue-wait histogram and span. */
+        std::chrono::steady_clock::time_point enqueued{};
     };
 
     /** Mutable counters behind one endpoint's stats snapshot. */
@@ -150,7 +161,10 @@ class SearchService
         uint64_t requests = 0;
         uint64_t errors = 0;
         std::string last_error;
+        /** Capacity-limited timing ring (config.stats_window). */
         std::vector<double> times_s;
+        /** Overwrite cursor once the ring is full. */
+        size_t times_next = 0;
     };
 
     void workerLoop();
@@ -164,6 +178,8 @@ class SearchService
     /** Count one successful request and its processing time. */
     void accountRequest(const std::string &endpoint, double seconds);
     void appendRecord(RequestRecord record);
+    /** Push into an endpoint's bounded ring (mutex_ must be held). */
+    void pushTime(Endpoint &ep, double seconds);
 
     ServiceConfig config_;
     mutable std::mutex mutex_;
@@ -174,7 +190,8 @@ class SearchService
     std::atomic<bool> stopping_{false};
     bool joined_ = false;
     std::map<std::string, Endpoint> endpoints_;
-    std::vector<RequestRecord> history_;
+    /** Completed-request log, bounded to config.stats_window. */
+    std::deque<RequestRecord> history_;
     std::vector<std::thread> workers_;
 };
 

@@ -426,15 +426,19 @@ pongFrame(const std::string &id)
 std::string
 statsFrame(const std::string &id, const std::string &service_name,
            const std::string &service_version,
-           const std::vector<EndpointStats> &endpoints)
+           const std::vector<EndpointStats> &endpoints,
+           uint64_t stats_window, const obs::MetricsSnapshot &metrics)
 {
     json::Value v = frameEnvelope("stats", id);
+    v.set("schema", json::Value::number(kStatsSchema));
     v.set("name", json::Value::string(service_name));
     v.set("version", json::Value::string(service_version));
     json::Value eps = json::Value::array();
     for (const EndpointStats &ep : endpoints)
         eps.push(endpointToJson(ep));
     v.set("endpoints", std::move(eps));
+    v.set("window", json::Value::number(stats_window));
+    v.set("metrics", metrics.toJson());
     return v.dump();
 }
 
@@ -506,8 +510,17 @@ decodeFrame(std::string_view line, Frame &out, std::string &error)
         out.kind = Frame::Kind::Pong;
     } else if (event == "stats") {
         out.kind = Frame::Kind::Stats;
+        needUint(r, "schema", out.schema);
         needString(r, "name", out.service_name);
         needString(r, "version", out.service_version);
+        needUint(r, "window", out.stats_window);
+        if (const json::Value *metrics = r.consume("metrics")) {
+            if (!obs::MetricsSnapshot::fromJson(*metrics,
+                        "frame.metrics", out.metrics, error))
+                return false;
+        } else {
+            return r.fail("missing \"metrics\"");
+        }
         if (const json::Value *eps = r.consume("endpoints")) {
             if (!eps->isArray())
                 return r.fail("endpoints: expected an array");

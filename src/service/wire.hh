@@ -37,9 +37,17 @@
 #include "api/observer.hh"
 #include "api/search_spec.hh"
 #include "api/searcher.hh"
+#include "obs/metrics.hh"
 #include "service/endpoint_stats.hh"
 
 namespace dosa::service {
+
+/**
+ * Version of the `stats` frame schema (and the `BENCH_*.json`
+ * trajectory lines, which carry the same `schema` field). Bump when
+ * a decoder would otherwise have to guess the shape.
+ */
+inline constexpr uint64_t kStatsSchema = 1;
 
 /** One decoded client request. */
 struct Request
@@ -115,9 +123,18 @@ struct Frame
     std::string message;
 
     // -- Stats
+    /** Stats-frame schema version (kStatsSchema at encode time). */
+    uint64_t schema = 0;
     std::string service_name;
     std::string service_version;
     std::vector<EndpointStats> endpoints;
+    /**
+     * Retention window of the per-endpoint timing ring: `processing_s`
+     * percentiles cover at most this many recent requests.
+     */
+    uint64_t stats_window = 0;
+    /** Process-wide metrics snapshot (obs/metrics.hh) at reply time. */
+    obs::MetricsSnapshot metrics;
 };
 
 /** Stable error codes of the `error` frame. */
@@ -138,10 +155,17 @@ std::string doneFrame(const std::string &id,
 std::string errorFrame(const std::string &id, const std::string &code,
                        const std::string &message);
 std::string pongFrame(const std::string &id);
+/**
+ * Encode the `stats` reply frame: endpoint stats plus the retention
+ * window they cover, the process-wide metrics snapshot and the
+ * `schema` version (kStatsSchema).
+ */
 std::string statsFrame(const std::string &id,
                        const std::string &service_name,
                        const std::string &service_version,
-                       const std::vector<EndpointStats> &endpoints);
+                       const std::vector<EndpointStats> &endpoints,
+                       uint64_t stats_window = 0,
+                       const obs::MetricsSnapshot &metrics = {});
 
 /**
  * Strictly decode one reply frame (the client half of the protocol;

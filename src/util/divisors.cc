@@ -10,6 +10,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -47,6 +48,9 @@ struct DivisorMemo
     {
         std::mutex mtx;
         std::unordered_map<int64_t, std::vector<int64_t>> map;
+        // Guarded by mtx (no atomics needed; summed by stats()).
+        uint64_t hits = 0;
+        uint64_t misses = 0;
     };
 
     std::array<Shard, kNumShards> shards;
@@ -61,11 +65,49 @@ struct DivisorMemo
         Shard &shard = shards[(h >> 32) & (kNumShards - 1)];
         std::lock_guard<std::mutex> lock(shard.mtx);
         auto it = shard.map.find(n);
-        if (it == shard.map.end())
+        if (it == shard.map.end()) {
+            shard.misses++;
             it = shard.map.emplace(n, computeDivisors(n)).first;
+        } else {
+            shard.hits++;
+        }
         return it->second;
     }
+
+    DivisorMemoStats
+    stats()
+    {
+        DivisorMemoStats s;
+        for (Shard &shard : shards) {
+            std::lock_guard<std::mutex> lock(shard.mtx);
+            s.hits += shard.hits;
+            s.misses += shard.misses;
+            s.entries += shard.map.size();
+        }
+        return s;
+    }
 };
+
+DivisorMemo &
+divisorMemo()
+{
+    static DivisorMemo memo;
+    // One-time hookup of the memo's live counters into metrics
+    // snapshots (the memo itself stays push-free on its hot path).
+    static const bool registered = [] {
+        obs::globalMetrics().registerCollector(
+            [](obs::MetricsSnapshot &snap) {
+                DivisorMemoStats s = divisorMemoStats();
+                snap.counters["divisors.memo_hits"] = s.hits;
+                snap.counters["divisors.memo_misses"] = s.misses;
+                snap.gauges["divisors.memo_entries"] =
+                    static_cast<int64_t>(s.entries);
+            });
+        return true;
+    }();
+    (void)registered;
+    return memo;
+}
 
 } // namespace
 
@@ -74,8 +116,13 @@ divisorsOf(int64_t n)
 {
     if (n < 1)
         panic("divisorsOf: n must be >= 1");
-    static DivisorMemo memo;
-    return memo.get(n);
+    return divisorMemo().get(n);
+}
+
+DivisorMemoStats
+divisorMemoStats()
+{
+    return divisorMemo().stats();
 }
 
 int64_t

@@ -21,6 +21,17 @@ class Rng;
 /** Return the sorted list of positive divisors of n (n >= 1). Memoized. */
 const std::vector<int64_t> &divisorsOf(int64_t n);
 
+/** Live hit/miss/entry counts of the divisor memo behind divisorsOf.
+ *  Also published into the global metrics registry (obs/metrics.hh)
+ *  as the `divisors.memo_*` counters via a snapshot collector. */
+struct DivisorMemoStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+};
+DivisorMemoStats divisorMemoStats();
+
 /**
  * Return the divisor of n closest to target.
  *
