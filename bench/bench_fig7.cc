@@ -11,7 +11,11 @@
  * Algorithms are dispatched through the `src/api` registry: every
  * cell is one `runSearch(spec)` call, and `--algos` (validated
  * against `Search::algorithms()`, "all" = whole registry) selects
- * which searchers compete under the shared sample budget.
+ * which searchers compete under the shared sample budget. Likewise
+ * `--workloads` (registry names or workload files, "all" = the whole
+ * `Workloads` registry) selects the cells' networks; each cell's
+ * seed depends only on its run index, so restricting the sweep
+ * reproduces the full sweep's rows bit-for-bit.
  *
  * --jobs N fans out over (workload, run, algorithm) cells on the
  * shared ThreadPool; every cell is seeded independently, so the
@@ -24,7 +28,6 @@
 
 #include "bench/common.hh"
 #include "stats/stats.hh"
-#include "workload/model_zoo.hh"
 
 using namespace dosa;
 
@@ -45,8 +48,8 @@ traceAt(const std::vector<std::vector<double>> &traces, size_t idx)
 int
 main(int argc, char **argv)
 {
-    bench::Scale scale =
-            bench::parseScale(argc, argv, /*algo_sweep=*/true);
+    bench::Scale scale = bench::parseScale(argc, argv,
+            /*algo_sweep=*/true, /*workload_sweep=*/true);
     bench::banner("Figure 7: DOSA vs Random vs BB-BO co-search",
             scale);
     bench::WallTimer timer;
@@ -86,7 +89,10 @@ main(int argc, char **argv)
         return spec;
     };
 
-    const std::vector<Network> nets = targetWorkloads();
+    // The paper's four target workloads by default; --workloads picks
+    // other registry entries or workload files.
+    const std::vector<Network> nets = scale.workloadsOr(
+            {"unet", "resnet50", "bert", "retinanet"});
     const size_t cells =
             nets.size() * static_cast<size_t>(runs) * n_algos;
 

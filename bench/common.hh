@@ -14,6 +14,13 @@
  *               the named registry algorithms ("all" = every entry of
  *               Search::algorithms(); unknown names are fatal, as is
  *               passing the flag to a fixed-algorithm bench)
+ *   --workload W / --workloads A,B,...  restrict workload-sweeping
+ *               benches to the named entries of the `Workloads`
+ *               registry, or to workload files (a token containing
+ *               '/' or ending in ".json" is loaded with
+ *               `loadWorkloadFile`); "all" = every registry entry.
+ *               Unknown names/bad files are fatal, as is passing the
+ *               flag to a fixed-workload bench
  *   --trace FILE  record span tracing (src/obs) for the whole run and
  *               dump Chrome trace-event JSON to FILE at the footer
  * and prints the rows/series the corresponding paper figure reports,
@@ -50,6 +57,7 @@
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
+#include "workload/workload_registry.hh"
 
 namespace dosa::bench {
 
@@ -63,6 +71,8 @@ struct Scale
     bool no_cache = false;
     /** --algo/--algos selection (validated); empty = bench default. */
     std::vector<std::string> algos;
+    /** --workload/--workloads selection; empty = bench default. */
+    std::vector<Network> workloads;
     /** --trace FILE: dump Chrome trace JSON here (empty = off). */
     std::string trace_file;
 
@@ -91,6 +101,27 @@ struct Scale
         if (!algos.empty())
             return algos;
         return {defaults.begin(), defaults.end()};
+    }
+
+    /**
+     * The --workload selection, or the named registry entries if the
+     * flag is absent. Defaults name builtins, so resolution cannot
+     * fail for a correctly-written bench.
+     */
+    std::vector<Network>
+    workloadsOr(std::initializer_list<const char *> defaults) const
+    {
+        if (!workloads.empty())
+            return workloads;
+        std::vector<Network> nets;
+        for (const char *name : defaults) {
+            const Network *net = Workloads::find(name);
+            if (net == nullptr)
+                fatal(std::string("bench default workload \"") + name +
+                      "\" is not registered");
+            nets.push_back(*net);
+        }
+        return nets;
     }
 };
 
@@ -127,13 +158,64 @@ parseAlgos(const Cli &cli)
 }
 
 /**
+ * Parse `--workload W` / `--workloads A,B,...` into resolved
+ * networks. A token containing '/' or ending in ".json" is loaded as
+ * a workload file (`loadWorkloadFile`); anything else must name a
+ * `Workloads` registry entry. "all" selects the whole registry.
+ * Unknown names and unreadable/malformed files are fatal.
+ */
+inline std::vector<Network>
+parseWorkloads(const Cli &cli)
+{
+    std::string arg = cli.get("workloads", cli.get("workload", ""));
+    if (arg.empty())
+        return {};
+    std::vector<Network> nets;
+    if (arg == "all") {
+        for (const std::string &name : Workloads::names())
+            nets.push_back(*Workloads::find(name));
+        return nets;
+    }
+    size_t start = 0;
+    while (start <= arg.size()) {
+        size_t comma = arg.find(',', start);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        std::string token = arg.substr(start, comma - start);
+        start = comma + 1;
+        if (token.empty())
+            continue;
+        bool is_file = token.find('/') != std::string::npos ||
+                (token.size() > 5 &&
+                 token.compare(token.size() - 5, 5, ".json") == 0);
+        if (is_file) {
+            Network net;
+            std::string error;
+            if (!loadWorkloadFile(token, net, error))
+                fatal("--workload: " + error);
+            nets.push_back(std::move(net));
+            continue;
+        }
+        const Network *net = Workloads::find(token);
+        if (net == nullptr)
+            fatal("unknown --workload \"" + token + "\" (available: " +
+                  Workloads::nameList() + "; pass a path or .json "
+                  "file name to load a workload file)");
+        nets.push_back(*net);
+    }
+    return nets;
+}
+
+/**
  * Parse the shared bench flags. `algo_sweep` declares whether this
- * bench consumes `--algo`/`--algos`; passing the flags to a bench
- * that runs a fixed algorithm set is a loud error rather than a
+ * bench consumes `--algo`/`--algos`, and `workload_sweep` whether it
+ * consumes `--workload`/`--workloads`; passing the flags to a bench
+ * with a fixed algorithm/workload set is a loud error rather than a
  * validated-then-ignored selection.
  */
 inline Scale
-parseScale(int argc, const char *const *argv, bool algo_sweep = false)
+parseScale(int argc, const char *const *argv, bool algo_sweep = false,
+           bool workload_sweep = false)
 {
     Cli cli(argc, argv);
     Scale s;
@@ -143,10 +225,14 @@ parseScale(int argc, const char *const *argv, bool algo_sweep = false)
     s.jobs = static_cast<int>(cli.getInt("jobs", 1));
     s.no_cache = cli.has("no-cache");
     s.algos = parseAlgos(cli);
+    s.workloads = parseWorkloads(cli);
     s.trace_file = cli.get("trace", "");
     if (!algo_sweep && !s.algos.empty())
         fatal("--algo/--algos: this bench runs a fixed algorithm "
               "set and does not sweep the registry");
+    if (!workload_sweep && !s.workloads.empty())
+        fatal("--workload/--workloads: this bench runs a fixed "
+              "workload set and does not sweep the registry");
     globalEvalCache().setEnabled(!s.no_cache);
     if (!s.trace_file.empty())
         obs::globalTracer().enable();

@@ -18,7 +18,7 @@
 #include "model/reference.hh"
 #include "search/cosa_mapper.hh"
 #include "util/table.hh"
-#include "workload/layer.hh"
+#include "workload/workload_registry.hh"
 
 using namespace dosa;
 
@@ -47,10 +47,18 @@ class ProgressObserver : public SearchObserver
 int
 main()
 {
-    // 1. Describe a workload layer: a ResNet-style 3x3 convolution.
-    Layer layer = Layer::conv("conv3x3", /*rs=*/3, /*pq=*/56,
-            /*cin=*/64, /*kout=*/64);
-    std::printf("Layer: %s\n", layer.str().c_str());
+    // 1. Pick a workload layer from the registry: the 3x3 stage-1
+    //    convolution of the built-in "resnet50" entry. Workloads are
+    //    data — the same network could come from a workloads/<name>.json
+    //    file (see docs/WORKLOADS.md) instead of the built-in zoo.
+    const Network &resnet = *Workloads::find("resnet50");
+    Layer layer;
+    for (const Layer &l : resnet.layers)
+        if (l.name == "res2_3x3") // 3x3, 56x56 maps, 64 -> 64
+            layer = l;
+    layer.count = 1; // study a single instance
+    std::printf("Layer %s of %s: %s\n", layer.name.c_str(),
+            resnet.name.c_str(), layer.str().c_str());
     std::printf("MACs: %.3g\n\n", layer.macs());
 
     // 2. Map it onto the default Gemmini config with the heuristic
@@ -89,7 +97,8 @@ main()
     std::printf("Registered search algorithms:");
     for (const std::string &name : Search::algorithms())
         std::printf(" %s", name.c_str());
-    std::printf("\n\n");
+    std::printf("\nRegistered workloads: %s\n\n",
+            Workloads::nameList().c_str());
 
     SearchSpec spec;
     spec.algorithm = "dosa";

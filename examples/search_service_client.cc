@@ -13,6 +13,10 @@
  *   --algo A      registered algorithm (default "mapper")
  *   --samples N   unified sample budget (default 200)
  *   --seed N      RNG seed (default 1)
+ *   --workload W  search the named workload of the *daemon's*
+ *                 registry by name (spec.workload_name) instead of
+ *                 the built-in demo layer pair — the layers never
+ *                 travel over the wire
  *   --spec FILE   read a full canonical SearchSpec JSON instead of
  *                 the built-in demo workload (see specToJson)
  *   --stats       also query the per-endpoint stats afterwards
@@ -34,16 +38,24 @@ using namespace dosa;
 
 namespace {
 
-/** The demo workload: the golden-fixture GEMM + conv pair. */
+/**
+ * The demo workload: a registry workload by name when --workload is
+ * given (resolved server-side), else the golden-fixture GEMM + conv
+ * pair inline.
+ */
 SearchSpec
 demoSpec(const Cli &cli)
 {
     SearchSpec spec;
     spec.algorithm = cli.get("algo", "mapper");
-    spec.workload = {
-        Layer::gemm("a", 128, 64, 256),
-        Layer::conv("b", 3, 16, 32, 64),
-    };
+    if (cli.has("workload")) {
+        spec.workload_name = cli.get("workload");
+    } else {
+        spec.workload = {
+            Layer::gemm("a", 128, 64, 256),
+            Layer::conv("b", 3, 16, 32, 64),
+        };
+    }
     spec.seed = uint64_t(cli.getInt("seed", 1));
     spec.budget.max_samples = int(cli.getInt("samples", 200));
     return spec;

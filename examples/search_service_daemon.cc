@@ -13,6 +13,11 @@
  *   --workers N  concurrent searches (default 2)
  *   --queue N    admission-queue depth beyond the running searches
  *                (default 16; overflow gets a `queue_full` error)
+ *   --workloads DIR  load every *.json workload file in DIR (sorted,
+ *                strict schema — see docs/WORKLOADS.md) into the
+ *                `Workloads` registry before serving, so clients can
+ *                request them with `"workload_name"` instead of
+ *                shipping layer lists
  *   --trace FILE record span tracing (src/obs) for the daemon's whole
  *                lifetime and dump Chrome trace-event JSON (loadable
  *                in Perfetto / chrome://tracing) to FILE on shutdown
@@ -27,21 +32,62 @@
  *   {"endpoint":"stats","id":"3"}
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hh"
 #include "service/search_service.hh"
 #include "service/tcp_server.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
+#include "workload/workload_registry.hh"
 
 using namespace dosa;
+
+namespace {
+
+/**
+ * Register every *.json workload file under `dir` (sorted by path,
+ * so later files shadow earlier ones deterministically when names
+ * collide). A malformed file is fatal: a daemon silently serving a
+ * partial zoo would be worse than not starting.
+ */
+void
+loadWorkloadDir(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto &entry : fs::directory_iterator(dir, ec))
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    if (ec)
+        fatal("--workloads: cannot read directory \"" + dir + "\": " +
+              ec.message());
+    std::sort(paths.begin(), paths.end());
+    for (const std::string &path : paths) {
+        Network net;
+        std::string error;
+        if (!loadWorkloadFile(path, net, error))
+            fatal("--workloads: " + error);
+        std::printf("workload \"%s\" loaded from %s (%zu layers)\n",
+                net.name.c_str(), path.c_str(), net.layers.size());
+        Workloads::registerWorkload(std::move(net));
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv);
+    if (cli.has("workloads"))
+        loadWorkloadDir(cli.get("workloads"));
     service::ServiceConfig config;
     config.max_concurrent = int(cli.getInt("workers", 2));
     config.max_queue = int(cli.getInt("queue", 16));

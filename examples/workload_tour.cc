@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tour of the workload registry and the workload file format.
+ *
+ * With no arguments, walks every `Workloads` registry entry (the
+ * paper's Table-6 networks plus the LLM/edge cells), then runs a
+ * small by-name search (`SearchSpec::workload_name`) to show the
+ * name-resolution path end-to-end.
+ *
+ * Maintenance modes (the cookbook tools of docs/WORKLOADS.md):
+ *   --show NAME                 print one entry's layers + JSON
+ *   --export NAME [--out FILE]  emit an entry's canonical file bytes
+ *   --canonicalize FILE [--out FILE]
+ *                               load a workload file and re-emit it
+ *                               in canonical form (fixes hand-edit
+ *                               drift so the round-trip test passes)
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/workload_tour
+ *   ./build/examples/workload_tour --export llm_decode_7b \
+ *       --out workloads/llm_decode_7b.json
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "api/search_api.hh"
+#include "arch/baselines.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/workload_registry.hh"
+
+using namespace dosa;
+
+namespace {
+
+/** Registry entry `name`, or fatal listing the registry. */
+const Network &
+mustFind(const std::string &name)
+{
+    const Network *net = Workloads::find(name);
+    if (net == nullptr)
+        fatal("unknown workload \"" + name + "\" (available: " +
+              Workloads::nameList() + ")");
+    return *net;
+}
+
+/** Write `text` to FILE (or stdout when the path is empty). */
+void
+emit(const std::string &text, const std::string &path)
+{
+    if (path.empty()) {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::FILE *out = std::fopen(path.c_str(), "wb");
+    if (out == nullptr)
+        fatal("cannot write " + path);
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), text.size());
+}
+
+void
+show(const Network &net)
+{
+    std::printf("workload \"%s\": %zu unique layers, %.3g MACs\n",
+            net.name.c_str(), net.layers.size(), net.totalMacs());
+    for (const auto &[key, value] : net.metadata)
+        std::printf("  metadata %s = %s\n", key.c_str(),
+                value.c_str());
+    for (const Layer &layer : net.layers)
+        std::printf("  %-16s x%-3lld %s\n", layer.name.c_str(),
+                static_cast<long long>(layer.count),
+                layer.str().c_str());
+    std::printf("\ncanonical file form:\n%s",
+            workloadFileText(net).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+
+    if (cli.has("show")) {
+        show(mustFind(cli.get("show")));
+        return 0;
+    }
+    if (cli.has("export")) {
+        emit(workloadFileText(mustFind(cli.get("export"))),
+                cli.get("out"));
+        return 0;
+    }
+    if (cli.has("canonicalize")) {
+        Network net;
+        std::string error;
+        if (!loadWorkloadFile(cli.get("canonicalize"), net, error))
+            fatal(error);
+        emit(workloadFileText(net), cli.get("out"));
+        return 0;
+    }
+
+    // 1. The registry: builtins self-register on first use, file
+    //    workloads join via Workloads::registerWorkload.
+    TablePrinter table({"workload", "layers", "total MACs"});
+    for (const std::string &name : Workloads::names()) {
+        const Network &net = *Workloads::find(name);
+        table.addRow({net.name, std::to_string(net.layers.size()),
+                fmtSci(net.totalMacs(), 3)});
+    }
+    std::printf("Registered workloads:\n");
+    table.print();
+
+    // 2. Round-trip: every network encodes to canonical JSON and
+    //    decodes back — the same path workload files take.
+    const Network &decode = mustFind("llm_decode_7b");
+    Network back = mustWorkloadFromJson(workloadFileText(decode));
+    std::printf("\nround-trip %s: %zu layers -> %zu bytes of JSON -> "
+                "%zu layers\n", decode.name.c_str(),
+            decode.layers.size(), workloadFileText(decode).size(),
+            back.layers.size());
+
+    // 3. Search by name: SearchSpec::workload_name resolves against
+    //    the registry inside runSearch — no layer plumbing at the
+    //    call site (and none on a service client requesting it).
+    SearchSpec spec;
+    spec.algorithm = "mapper";
+    spec.workload_name = "depthwise_edge";
+    spec.fixed_hw = gemminiDefault().config;
+    spec.budget.max_samples = 200;
+    spec.seed = 1;
+    SearchReport report = runSearch(spec);
+    std::printf("\nmapper search on workload_name=\"%s\": best EDP "
+                "%.3g after %zu samples\n", spec.workload_name.c_str(),
+            report.search.best_edp, report.search.trace.size());
+    return 0;
+}

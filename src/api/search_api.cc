@@ -13,6 +13,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
+#include "workload/workload_registry.hh"
 
 namespace dosa {
 
@@ -197,7 +198,18 @@ validateSpec(const SearchSpec &spec, std::string &error)
     }
     if (!checkOptions(spec, *searcher, error))
         return false;
-    if (spec.workload.empty()) {
+    if (!spec.workload_name.empty()) {
+        if (!spec.workload.empty()) {
+            error = "search spec sets both workload_name and an "
+                    "explicit workload (pick one)";
+            return false;
+        }
+        if (Workloads::find(spec.workload_name) == nullptr) {
+            error = "unknown workload \"" + spec.workload_name +
+                    "\" (available: " + Workloads::nameList() + ")";
+            return false;
+        }
+    } else if (spec.workload.empty()) {
         error = "search spec has an empty workload";
         return false;
     }
@@ -221,6 +233,16 @@ runSearch(const SearchSpec &spec, SearchObserver *observer)
     std::string error;
     if (!validateSpec(spec, error))
         fatal(error);
+    if (!spec.workload_name.empty()) {
+        // Resolve the named workload into its registered layers up
+        // front so every searcher (and plannedSamples) sees concrete
+        // layers; a by-name run is byte-identical to one whose caller
+        // inlined the same layers.
+        SearchSpec resolved = spec;
+        resolved.workload = Workloads::find(spec.workload_name)->layers;
+        resolved.workload_name.clear();
+        return runSearch(resolved, observer);
+    }
     const Searcher *searcher = Search::find(spec.algorithm);
 
     CacheModeGuard cache_guard(spec.cache);

@@ -8,11 +8,16 @@
  * @code
  *   SearchSpec spec;
  *   spec.algorithm = "dosa";            // any Search::algorithms()
- *   spec.workload = resnet50().layers;
+ *   spec.workload_name = "resnet50";    // any Workloads::names()
  *   spec.budget.max_samples = 10000;    // unified sample budget
  *   spec.seed = 7;
  *   SearchReport report = runSearch(spec);
  * @endcode
+ *
+ * Workloads come either inline (`spec.workload`, a layer list built
+ * in code or loaded from a workload file) or by name
+ * (`spec.workload_name`, resolved against the `Workloads` registry
+ * before dispatch — see workload/workload_registry.hh).
  *
  * The legacy free functions (`dosaSearch`, `randomSearch`,
  * `randomMapperSearch`, `bayesOptSearch`) are thin compat shims over
@@ -33,9 +38,11 @@ namespace dosa {
  * Run the search described by `spec` with the registered algorithm
  * `spec.algorithm`, streaming progress to `observer` (optional).
  *
- * The driver validates the spec (unknown algorithm or option keys
- * are fatal configuration errors listing the valid choices), applies
- * the cache policy for the duration of the run, installs a
+ * The driver validates the spec (unknown algorithm, option keys or
+ * workload name are fatal configuration errors listing the valid
+ * choices), resolves a `spec.workload_name` into its registered
+ * layers (a by-name run is byte-identical to inlining those layers),
+ * applies the cache policy for the duration of the run, installs a
  * `SearchControl` carrying the budget/deadline and the observer
  * bridge, and dispatches to the registered searcher (which
  * pre-reserves the result trace from its planned sample count).
@@ -49,7 +56,9 @@ SearchReport runSearch(const SearchSpec &spec,
  * Non-fatal validation of everything `runSearch` would reject as a
  * fatal configuration error: unknown algorithm (the message lists
  * the registry), option keys the chosen searcher does not consume,
- * an empty workload or ill-formed layers, negative budget limits.
+ * an empty workload or ill-formed layers, an unknown or ambiguous
+ * `workload_name` (the message lists the workload registry),
+ * negative budget limits.
  * Returns false and sets `error` instead of exiting — the check a
  * long-running caller (the search service) runs on untrusted specs
  * before dispatching, so a bad request cannot take the process down.

@@ -144,6 +144,17 @@ struct SearchSpec
     std::vector<Layer> workload;
 
     /**
+     * Alternative to `workload`: the name of a registered workload
+     * (`Workloads::find`). `runSearch` resolves the name into the
+     * registered layer list before dispatch; setting both the name
+     * and an explicit layer list is a validation error, as is a name
+     * the registry does not know. Names travel over the wire
+     * (spec_json), so a service client can request a search on
+     * "llm_decode_7b" without shipping its layers.
+     */
+    std::string workload_name;
+
+    /**
      * Objective-level knobs (frozen PE array, area budget, layer
      * weights, differentiable latency model). Consumed by the "dosa"
      * searcher; sample-based baselines ignore it.

@@ -98,6 +98,7 @@ specToJsonValue(const SearchSpec &spec)
     for (const Layer &layer : spec.workload)
         workload.push(layerToJson(layer));
     v.set("workload", std::move(workload));
+    v.set("workload_name", json::Value::string(spec.workload_name));
 
     json::Value mode = json::Value::object();
     mode.set("fix_pe", json::Value::boolean(spec.mode.fix_pe));
@@ -157,6 +158,7 @@ specFromJsonValue(const json::Value &value, SearchSpec &out,
                         out.workload[i], error))
                 return false; // error carries the nested path
     }
+    r.readString("workload_name", out.workload_name);
 
     if (const json::Value *mode = r.consume("mode")) {
         json::ObjectReader m(*mode, "spec.mode", error);

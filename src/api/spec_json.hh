@@ -15,6 +15,14 @@
  * The decoder is strict and non-fatal: unknown keys, type mismatches
  * and malformed JSON produce `false` plus a path diagnostic (never a
  * crash), which the service turns into structured `error` replies.
+ *
+ * Workloads travel either inline (`"workload"`, the full layer list)
+ * or by registry name (`"workload_name"`, resolved against the
+ * `Workloads` registry on the serving side at `runSearch` time) — a
+ * client can request `"workload_name": "llm_decode_7b"` without
+ * knowing its layers. Name resolution is deliberately not part of
+ * decoding: the decoder stays structural, `validateSpec` reports an
+ * unknown name against the *local* registry.
  * `mustSpecFromJson` is the parse-or-die wrapper for trusted
  * in-process text (checked-in configs, test fixtures) — fatal by
  * contract on any parse error, so a bad fixture cannot silently run

@@ -276,6 +276,79 @@ Value::dump() const
     return out;
 }
 
+namespace {
+
+/** Compact length of `v` capped at `limit + 1` (early-out probe). */
+size_t
+compactLength(const Value &v, size_t limit)
+{
+    std::string s = v.dump();
+    return s.size() > limit ? limit + 1 : s.size();
+}
+
+} // namespace
+
+void
+Value::dumpPrettyInto(std::string &out, int indent) const
+{
+    // A subtree short enough for one line keeps the compact form;
+    // the threshold counts the subtree alone, not the current column,
+    // so the choice is independent of where the subtree sits.
+    constexpr size_t kOneLineLimit = 80;
+    if (kind_ != Kind::Array && kind_ != Kind::Object) {
+        dumpInto(out);
+        return;
+    }
+    if (compactLength(*this, kOneLineLimit) <= kOneLineLimit) {
+        dumpInto(out);
+        return;
+    }
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    std::string inner_pad(static_cast<size_t>(indent + 1) * 2, ' ');
+    if (kind_ == Kind::Array) {
+        if (arr_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += "[\n";
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            out += inner_pad;
+            arr_[i].dumpPrettyInto(out, indent + 1);
+            if (i + 1 != arr_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad;
+        out += ']';
+        return;
+    }
+    if (obj_.empty()) {
+        out += "{}";
+        return;
+    }
+    out += "{\n";
+    size_t i = 0;
+    for (const auto &[key, value] : obj_) {
+        out += inner_pad;
+        appendQuoted(out, key);
+        out += ": ";
+        value.dumpPrettyInto(out, indent + 1);
+        if (++i != obj_.size())
+            out += ',';
+        out += '\n';
+    }
+    out += pad;
+    out += '}';
+}
+
+std::string
+Value::dumpPretty() const
+{
+    std::string out;
+    dumpPrettyInto(out, 0);
+    return out;
+}
+
 /** Single-pass recursive-descent parser over a string_view. */
 class Parser
 {

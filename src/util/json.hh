@@ -103,8 +103,20 @@ class Value
      */
     std::string dump() const;
 
+    /**
+     * Serialize to a deterministic human-readable form: a subtree
+     * whose compact dump fits in ~80 columns is emitted compactly on
+     * one line, everything else expands with 2-space indentation and
+     * sorted keys. Like `dump()`, the output is a pure function of the
+     * value — parse(dumpPretty(v)) == v and the bytes never vary — so
+     * on-disk files (workloads/<name>.json) can be pinned to canonical
+     * pretty form. No trailing newline; file writers append one.
+     */
+    std::string dumpPretty() const;
+
   private:
     void dumpInto(std::string &out) const;
+    void dumpPrettyInto(std::string &out, int indent) const;
 
     Kind kind_ = Kind::Null;
     bool bool_ = false;

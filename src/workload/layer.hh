@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,13 @@ struct Network
 {
     std::string name;
     std::vector<Layer> layers;
+
+    /**
+     * Free-form descriptive tags ("source", "notes", ...). Carried by
+     * the workload file format and registry for provenance; never read
+     * by the search itself.
+     */
+    std::map<std::string, std::string> metadata;
 
     /** Sum over layers of count * macs. */
     double totalMacs() const;

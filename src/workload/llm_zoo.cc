@@ -1,0 +1,105 @@
+/**
+ * @file
+ * LLM-inference and depthwise/grouped-conv workload cell definitions.
+ */
+#include "workload/llm_zoo.hh"
+
+namespace dosa {
+
+Network
+llmDecode7b()
+{
+    // Llama-7B-class geometry: hidden 4096, 32 heads of 128, FFN
+    // 11008 (gate+up fused as one 22016-wide GEMM), 32 blocks,
+    // vocabulary 32000. Decode emits one token against a 2048-token
+    // KV cache, so every projection is a GEMV.
+    Network net;
+    net.name = "llm_decode_7b";
+    net.metadata["source"] = "llm_zoo (Llama-7B-class, decode)";
+    net.metadata["context"] = "2048";
+    auto &L = net.layers;
+    const int64_t hid = 4096, heads = 32, dhead = 128, ffn = 11008;
+    const int64_t blocks = 32, ctx = 2048, vocab = 32000;
+    // Fused Q/K/V projection.
+    L.push_back(Layer::gemm("qkv_proj", 1, hid, 3 * hid, 1, blocks));
+    // Attention scores qK^T over the cache: one GEMV per head.
+    L.push_back(Layer::gemm("attn_score", 1, dhead, ctx, heads, blocks));
+    // Attention context (scores x V).
+    L.push_back(Layer::gemm("attn_ctx", 1, ctx, dhead, heads, blocks));
+    // Output projection.
+    L.push_back(Layer::gemm("attn_out", 1, hid, hid, 1, blocks));
+    // SwiGLU feed-forward: gate and up fused, then down.
+    L.push_back(Layer::gemm("ffn_gate_up", 1, hid, 2 * ffn, 1, blocks));
+    L.push_back(Layer::gemm("ffn_down", 1, ffn, hid, 1, blocks));
+    // Final vocabulary projection.
+    L.push_back(Layer::gemm("lm_head", 1, hid, vocab));
+    return net;
+}
+
+Network
+llmPrefill4k()
+{
+    // The same model processing a 4096-token prompt in one pass:
+    // M grows from 1 to 4096 and attention is quadratic in context.
+    Network net;
+    net.name = "llm_prefill_4k";
+    net.metadata["source"] = "llm_zoo (Llama-7B-class, prefill)";
+    net.metadata["context"] = "4096";
+    auto &L = net.layers;
+    const int64_t hid = 4096, heads = 32, dhead = 128, ffn = 11008;
+    const int64_t blocks = 32, seq = 4096;
+    L.push_back(Layer::gemm("qkv_proj", seq, hid, 3 * hid, 1, blocks));
+    L.push_back(Layer::gemm("attn_score", seq, dhead, seq, heads, blocks));
+    L.push_back(Layer::gemm("attn_ctx", seq, seq, dhead, heads, blocks));
+    L.push_back(Layer::gemm("attn_out", seq, hid, hid, 1, blocks));
+    L.push_back(Layer::gemm("ffn_gate_up", seq, hid, 2 * ffn, 1, blocks));
+    L.push_back(Layer::gemm("ffn_down", seq, ffn, hid, 1, blocks));
+    return net;
+}
+
+Network
+llmMoeFfn()
+{
+    // Mixtral-8x7B-style FFN slice: hidden 4096, 8 experts of FFN
+    // 14336 with top-2 routing. A 2048-token batch routes 2 experts
+    // per token, i.e. 512 tokens per expert on average — expressed as
+    // expert GEMMs batched over N=8 experts.
+    Network net;
+    net.name = "llm_moe_ffn";
+    net.metadata["source"] = "llm_zoo (Mixtral-style MoE FFN)";
+    net.metadata["experts"] = "8";
+    auto &L = net.layers;
+    const int64_t hid = 4096, ffn = 14336, experts = 8;
+    const int64_t tokens = 2048, per_expert = 512, blocks = 32;
+    L.push_back(Layer::gemm("router", tokens, hid, experts, 1, blocks));
+    L.push_back(Layer::gemm("expert_gate_up", per_expert, hid, 2 * ffn,
+                            experts, blocks));
+    L.push_back(Layer::gemm("expert_down", per_expert, ffn, hid,
+                            experts, blocks));
+    return net;
+}
+
+Network
+depthwiseEdge()
+{
+    // MobileNetV2-flavored cell. Depthwise 3x3s use the batched-
+    // small-conv idiom (one 1-channel conv per channel, N = channels);
+    // the grouped 3x3 batches 16 groups of 16->16 channels.
+    Network net;
+    net.name = "depthwise_edge";
+    net.metadata["source"] = "llm_zoo (MobileNet-style edge cell)";
+    auto &L = net.layers;
+    // Expand 16 -> 96 channels at 112x112, depthwise, project.
+    L.push_back(Layer::conv("pw_expand_112", 1, 112, 16, 96));
+    L.push_back(Layer::conv("dw3x3_112", 3, 112, 1, 1, 1, 1, 96));
+    // Strided depthwise down to 56x56, then project 144 -> 24.
+    L.push_back(Layer::conv("pw_expand_56", 1, 56, 24, 144));
+    L.push_back(Layer::conv("dw3x3_s2_56", 3, 56, 1, 1, 2, 1, 144));
+    L.push_back(Layer::conv("pw_project_56", 1, 56, 144, 24, 1, 2));
+    // ResNeXt-style grouped 3x3: 16 groups of 16 channels at 28x28.
+    L.push_back(Layer::conv("group3x3_28", 3, 28, 16, 16, 1, 1, 16));
+    L.push_back(Layer::conv("pw_project_28", 1, 28, 256, 64));
+    return net;
+}
+
+} // namespace dosa

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * LLM-inference and edge-vision workload cells beyond the paper's
+ * Table-6 set: decode-phase GEMVs, long-context prefill, MoE-style
+ * wide-batch FFN, and depthwise/grouped convolutions. These feed the
+ * workload registry (workload_registry.hh) as built-ins and are the
+ * source of the checked-in `workloads/<name>.json` exports.
+ */
+
+#ifndef DOSA_WORKLOAD_LLM_ZOO_HH
+#define DOSA_WORKLOAD_LLM_ZOO_HH
+
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/**
+ * Llama-7B-class decode step: every projection is a GEMV (M=1 new
+ * token) against a KV cache of 2048 tokens, 32 transformer blocks.
+ * The extreme to exercise: reuse lives almost entirely in weights.
+ */
+Network llmDecode7b();
+
+/**
+ * The same 7B-class model in prefill over a 4096-token prompt: the
+ * GEMVs become large GEMMs and attention grows quadratically with
+ * context — the compute-bound counterpart of llmDecode7b().
+ */
+Network llmPrefill4k();
+
+/**
+ * Mixtral-style mixture-of-experts FFN slice: a thin router GEMM and
+ * wide expert GEMMs batched over the 8 experts (top-2 routing spreads
+ * 2048 tokens as 512 per expert).
+ */
+Network llmMoeFfn();
+
+/**
+ * MobileNet-style edge cell: depthwise 3x3s expressed with the
+ * batched-small-conv idiom (N = channels, C = K = 1), pointwise 1x1
+ * expand/project layers, a strided depthwise stage and a 16-group
+ * grouped 3x3 — shapes where the paper's dense-conv mappings degrade.
+ */
+Network depthwiseEdge();
+
+} // namespace dosa
+
+#endif // DOSA_WORKLOAD_LLM_ZOO_HH

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Workload registry storage and the schema-1 workload JSON codec.
+ * See workload_registry.hh for the strict-decode / canonical-encode
+ * contract.
+ */
+#include "workload/workload_registry.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "workload/llm_zoo.hh"
+#include "workload/model_zoo.hh"
+
+namespace dosa {
+
+namespace {
+
+/**
+ * Registered networks. Entries are heap-allocated so the pointers
+ * `find()` hands out survive later registrations; an entry is never
+ * mutated after it lands.
+ */
+std::vector<std::unique_ptr<Network>> &
+registryStorage()
+{
+    static std::vector<std::unique_ptr<Network>> registry;
+    return registry;
+}
+
+/** Registration order is deterministic; guard only against races. */
+std::mutex &
+registryMutex()
+{
+    static std::mutex mtx;
+    return mtx;
+}
+
+void
+ensureBuiltins()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { detail::registerBuiltinWorkloads(); });
+}
+
+/** Why `net` cannot be registered, or null when it is well-formed. */
+const char *
+checkNetwork(const Network &net)
+{
+    if (net.name.empty())
+        return "empty workload name";
+    if (net.layers.empty())
+        return "workload has no layers";
+    for (const Layer &layer : net.layers) {
+        if (layer.name.empty())
+            return "workload has an unnamed layer";
+        if (!layer.valid())
+            return "workload has an ill-formed layer (every "
+                   "dimension must be >= 1)";
+    }
+    return nullptr;
+}
+
+/** Canonical layer type derived from the shape (gemm: R=S=Q=1). */
+const char *
+derivedType(const Layer &layer)
+{
+    return (layer.r == 1 && layer.s == 1 && layer.q == 1) ? "gemm"
+                                                          : "conv";
+}
+
+/**
+ * Encode one layer in canonical file form: `name` and the derived
+ * `type` always present, dimensions only when off their default of 1.
+ */
+json::Value
+layerToJson(const Layer &layer)
+{
+    json::Value v = json::Value::object();
+    v.set("name", json::Value::string(layer.name));
+    v.set("type", json::Value::string(derivedType(layer)));
+    auto dim = [&v](const char *key, int64_t value) {
+        if (value != 1)
+            v.set(key, json::Value::number(value));
+    };
+    dim("r", layer.r);
+    dim("s", layer.s);
+    dim("p", layer.p);
+    dim("q", layer.q);
+    dim("c", layer.c);
+    dim("k", layer.k);
+    dim("n", layer.n);
+    dim("stride", layer.stride);
+    dim("count", layer.count);
+    return v;
+}
+
+bool
+layerFromJson(const json::Value &value, const std::string &path,
+              Layer &out, std::string &error)
+{
+    out = Layer{};
+    std::string type;
+    json::ObjectReader r(value, path, error);
+    r.readString("name", out.name);
+    r.readString("type", type);
+    r.readInt("r", out.r);
+    r.readInt("s", out.s);
+    r.readInt("p", out.p);
+    r.readInt("q", out.q);
+    r.readInt("c", out.c);
+    r.readInt("k", out.k);
+    r.readInt("n", out.n);
+    r.readInt("stride", out.stride);
+    r.readInt("count", out.count);
+    if (!r.finish())
+        return false;
+    if (out.name.empty())
+        return r.fail("name: expected a non-empty string");
+    if (!out.valid())
+        return r.fail("every dimension must be >= 1 (got " +
+                      out.str() + ")");
+    if (!type.empty()) {
+        if (type != "conv" && type != "gemm")
+            return r.fail("type: expected \"conv\" or \"gemm\" (got "
+                          "\"" + type + "\")");
+        if (type != derivedType(out))
+            return r.fail("type \"" + type + "\" does not match the "
+                          "shape (a layer with R=S=Q=1 is a \"gemm\","
+                          " anything else a \"conv\")");
+    }
+    return true;
+}
+
+} // namespace
+
+void
+detail::appendWorkload(Network net)
+{
+    if (const char *msg = checkNetwork(net))
+        panic(std::string("Workloads::registerWorkload: ") + msg +
+              " (workload \"" + net.name + "\")");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registryStorage().push_back(
+            std::make_unique<Network>(std::move(net)));
+}
+
+void
+detail::registerBuiltinWorkloads()
+{
+    // The paper's Table-6 networks (model_zoo)...
+    appendWorkload(resnet50());
+    appendWorkload(bertBase());
+    appendWorkload(unet());
+    appendWorkload(retinanet());
+    appendWorkload(alexnet());
+    appendWorkload(vgg16());
+    appendWorkload(resnext50());
+    appendWorkload(deepbench());
+    // ...and the serving-era cells (llm_zoo).
+    appendWorkload(llmDecode7b());
+    appendWorkload(llmPrefill4k());
+    appendWorkload(llmMoeFfn());
+    appendWorkload(depthwiseEdge());
+}
+
+void
+Workloads::registerWorkload(Network net)
+{
+    // Bootstrap the builtins first so this registration lands after
+    // them: latest-wins shadowing holds no matter when a caller
+    // registers relative to the first find()/names() call.
+    ensureBuiltins();
+    detail::appendWorkload(std::move(net));
+}
+
+const Network *
+Workloads::find(std::string_view name)
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    const auto &registry = registryStorage();
+    // Latest registration wins, so callers can shadow a builtin.
+    for (auto it = registry.rbegin(); it != registry.rend(); ++it)
+        if (name == (*it)->name)
+            return it->get();
+    return nullptr;
+}
+
+std::vector<std::string>
+Workloads::names()
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    for (const auto &net : registryStorage())
+        if (std::find(names.begin(), names.end(), net->name) ==
+            names.end())
+            names.push_back(net->name);
+    return names;
+}
+
+std::string
+Workloads::nameList()
+{
+    std::string out;
+    for (const std::string &name : names()) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+json::Value
+workloadToJson(const Network &net)
+{
+    json::Value v = json::Value::object();
+    v.set("schema", json::Value::number(kWorkloadSchema));
+    v.set("name", json::Value::string(net.name));
+    json::Value layers = json::Value::array();
+    for (const Layer &layer : net.layers)
+        layers.push(layerToJson(layer));
+    v.set("layers", std::move(layers));
+    if (!net.metadata.empty()) {
+        json::Value meta = json::Value::object();
+        for (const auto &[key, value] : net.metadata)
+            meta.set(key, json::Value::string(value));
+        v.set("metadata", std::move(meta));
+    }
+    return v;
+}
+
+std::string
+workloadFileText(const Network &net)
+{
+    return workloadToJson(net).dumpPretty() + "\n";
+}
+
+bool
+workloadFromJson(const json::Value &value, Network &out,
+                 std::string &error)
+{
+    out = Network{};
+    int64_t schema = 0;
+    json::ObjectReader r(value, "workload", error);
+    r.readInt("schema", schema);
+    r.readString("name", out.name);
+
+    if (const json::Value *layers = r.consume("layers")) {
+        if (!layers->isArray())
+            return r.fail("layers: expected an array");
+        const auto &elems = layers->elements();
+        out.layers.resize(elems.size());
+        for (size_t i = 0; i < elems.size(); ++i)
+            if (!layerFromJson(elems[i],
+                        "workload.layers[" + std::to_string(i) + "]",
+                        out.layers[i], error))
+                return false; // error carries the nested path
+    }
+
+    if (const json::Value *meta = r.consume("metadata")) {
+        if (!meta->isObject())
+            return r.fail("metadata: expected an object");
+        for (const auto &[key, member] : meta->members()) {
+            if (!member.isString())
+                return r.fail("metadata." + key +
+                              ": expected a string");
+            out.metadata[key] = member.asString();
+        }
+    }
+
+    if (!r.finish())
+        return false;
+    if (schema != kWorkloadSchema)
+        return r.fail("schema: this build reads workload schema " +
+                      std::to_string(kWorkloadSchema) + " (got " +
+                      std::to_string(schema) + ")");
+    if (out.name.empty())
+        return r.fail("name: expected a non-empty string");
+    if (out.layers.empty())
+        return r.fail("layers: expected a non-empty array");
+    return true;
+}
+
+Network
+mustWorkloadFromJson(std::string_view text)
+{
+    json::Value value;
+    Network net;
+    std::string error;
+    if (!json::parse(text, value, error) ||
+        !workloadFromJson(value, net, error))
+        fatal("mustWorkloadFromJson: " + error);
+    return net;
+}
+
+bool
+loadWorkloadFile(const std::string &path, Network &out,
+                 std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = path + ": cannot open workload file";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad()) {
+        error = path + ": error reading workload file";
+        return false;
+    }
+    json::Value value;
+    if (!json::parse(text.str(), value, error) ||
+        !workloadFromJson(value, out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace dosa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The process-wide workload registry and the versioned JSON workload
+ * file format behind it.
+ *
+ * Workloads are data, not code: a `Network` can be described in a
+ * JSON file (schema 1: name, layer list, optional metadata), loaded
+ * with `loadWorkloadFile`/`workloadFromJson`, registered under its
+ * name, and then referenced everywhere a workload is consumed — a
+ * `SearchSpec::workload_name`, a bench `--workload` flag, a service
+ * request. The in-tree networks (the paper's Table-6 cells from
+ * model_zoo plus the LLM/edge cells from llm_zoo) self-register as
+ * built-ins the same way search algorithms do, so `Workloads::find`
+ * works from any link configuration.
+ *
+ * Format contract (see docs/WORKLOADS.md for the field reference):
+ *
+ * - *Strict decode.* `workloadFromJson` uses `util/json`'s
+ *   `ObjectReader`: unknown keys, type mismatches, out-of-range
+ *   dimensions and a wrong `schema` all fail with a field-path
+ *   diagnostic ("workload.layers[2].stride: expected a number");
+ *   it never crashes on hostile input.
+ * - *Canonical encode.* `workloadToJson` emits sorted keys and omits
+ *   layer dimensions at their default (1), so encoding is a pure
+ *   function of the value; `workloadFileText` fixes the on-disk form
+ *   (pretty, trailing newline) and decode(encode(net)) == net. Every
+ *   checked-in `workloads/<name>.json` is pinned to these exact bytes by
+ *   test.
+ */
+
+#ifndef DOSA_WORKLOAD_WORKLOAD_REGISTRY_HH
+#define DOSA_WORKLOAD_WORKLOAD_REGISTRY_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hh"
+#include "workload/layer.hh"
+
+namespace dosa {
+
+/** Workload file schema version accepted by this build. */
+constexpr int64_t kWorkloadSchema = 1;
+
+/**
+ * The process-wide workload registry. The in-tree networks
+ * self-register on first use (anchored through
+ * `registerBuiltinWorkloads` so static-library dead-stripping cannot
+ * drop them); file-loaded or programmatic networks add themselves
+ * with `registerWorkload` and become reachable from every
+ * `--workload` flag, `SearchSpec::workload_name` and service request
+ * without further plumbing.
+ */
+class Workloads
+{
+  public:
+    /**
+     * Register a workload under `net.name`. Panics on an ill-formed
+     * network (empty name, no layers, an invalid layer) — use
+     * `workloadFromJson` first for untrusted input, which rejects the
+     * same shapes non-fatally. The builtin bootstrap runs first, so a
+     * registration always lands after the builtins: re-registering a
+     * name shadows the previous entry (latest wins).
+     */
+    static void registerWorkload(Network net);
+
+    /** Workload registered under `name`, or null when unknown. */
+    static const Network *find(std::string_view name);
+
+    /** All registered workload names, in registration order. */
+    static std::vector<std::string> names();
+
+    /** `names()` joined with ", " — for error messages. */
+    static std::string nameList();
+};
+
+/**
+ * Encode `net` as a schema-1 workload JSON value in canonical form:
+ * sorted keys, layer dimensions omitted at their default of 1, the
+ * derived layer `type` always present, `metadata` present only when
+ * non-empty.
+ */
+json::Value workloadToJson(const Network &net);
+
+/**
+ * The canonical on-disk bytes of `net`: `workloadToJson` rendered
+ * with `json::Value::dumpPretty()` plus a trailing newline. The
+ * checked-in `workloads/<name>.json` files hold exactly these bytes.
+ */
+std::string workloadFileText(const Network &net);
+
+/**
+ * Strictly decode a schema-1 workload JSON value. Returns false and
+ * sets `error` (with a field path) on any malformed input; `out` is
+ * left in an unspecified state on failure. A decoded workload always
+ * satisfies `Workloads::registerWorkload`'s preconditions.
+ */
+bool workloadFromJson(const json::Value &value, Network &out,
+                      std::string &error);
+
+/**
+ * Parse + strictly decode workload JSON text. Fatal on any error —
+ * the trusted-text convenience mirror of `mustSpecFromJson`.
+ */
+Network mustWorkloadFromJson(std::string_view text);
+
+/**
+ * Read, parse and strictly decode the workload file at `path`.
+ * Returns false with a diagnostic (prefixed with the path) on I/O or
+ * format errors. Does not register the result — pair with
+ * `Workloads::registerWorkload` to make it name-addressable.
+ */
+bool loadWorkloadFile(const std::string &path, Network &out,
+                      std::string &error);
+
+namespace detail {
+
+/**
+ * Internal registry append without the builtin bootstrap — the hook
+ * `registerBuiltinWorkloads` registers through. External callers use
+ * `Workloads::registerWorkload`.
+ */
+void appendWorkload(Network net);
+
+/**
+ * Registers the in-tree networks (model_zoo + llm_zoo); called
+ * lazily by the registry so a static-library link cannot dead-strip
+ * them.
+ */
+void registerBuiltinWorkloads();
+
+} // namespace detail
+
+} // namespace dosa
+
+#endif // DOSA_WORKLOAD_WORKLOAD_REGISTRY_HH

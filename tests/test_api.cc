@@ -20,6 +20,7 @@
 #include "api/search_api.hh"
 #include "core/dosa_optimizer.hh"
 #include "model/reference.hh"
+#include "workload/workload_registry.hh"
 #include "search/bayes_opt.hh"
 #include "search/random_search.hh"
 #include "workload/layer.hh"
@@ -518,6 +519,61 @@ TEST(ApiDeathTest, EmptyWorkloadIsFatal)
     spec.algorithm = "random";
     EXPECT_EXIT(runSearch(spec), ::testing::ExitedWithCode(1),
             "empty workload");
+}
+
+TEST(ApiWorkloadName, ValidatesAgainstTheRegistry)
+{
+    SearchSpec spec = goldenMapperSpec();
+    spec.workload.clear();
+    spec.workload_name = "alexnet";
+    std::string error;
+    EXPECT_TRUE(validateSpec(spec, error)) << error;
+
+    // Unknown names are rejected with the registry listing, exactly
+    // like an unknown algorithm.
+    spec.workload_name = "no-such-net";
+    EXPECT_FALSE(validateSpec(spec, error));
+    EXPECT_NE(error.find("unknown workload \"no-such-net\""),
+            std::string::npos)
+            << error;
+    EXPECT_NE(error.find("resnet50"), std::string::npos) << error;
+
+    // Setting both an inline workload and a name is ambiguous.
+    spec = goldenMapperSpec();
+    spec.workload_name = "alexnet";
+    EXPECT_FALSE(validateSpec(spec, error));
+    EXPECT_NE(error.find("both"), std::string::npos) << error;
+}
+
+TEST(ApiWorkloadName, ByNameSearchMatchesInlineLayersBitwise)
+{
+    const Network *net = Workloads::find("alexnet");
+    ASSERT_NE(net, nullptr);
+
+    SearchSpec by_name = goldenMapperSpec();
+    by_name.workload.clear();
+    by_name.workload_name = "alexnet";
+
+    SearchSpec inline_spec = goldenMapperSpec();
+    inline_spec.workload = net->layers;
+
+    SearchReport a = runSearch(by_name);
+    SearchReport b = runSearch(inline_spec);
+    EXPECT_EQ(a.search.best_edp, b.search.best_edp);
+    EXPECT_EQ(a.search.best_hw.str(), b.search.best_hw.str());
+    ASSERT_EQ(a.search.trace.size(), b.search.trace.size());
+    for (size_t i = 0; i < a.search.trace.size(); ++i)
+        EXPECT_EQ(a.search.trace[i], b.search.trace[i])
+                << "sample " << i;
+}
+
+TEST(ApiDeathTest, UnknownWorkloadNameIsFatalAndListsRegistry)
+{
+    SearchSpec spec;
+    spec.algorithm = "random";
+    spec.workload_name = "no-such-net";
+    EXPECT_EXIT(runSearch(spec), ::testing::ExitedWithCode(1),
+            "unknown workload.*resnet50");
 }
 
 } // namespace

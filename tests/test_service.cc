@@ -30,6 +30,7 @@
 #include "service/wire.hh"
 #include "util/rng.hh"
 #include "workload/layer.hh"
+#include "workload/workload_registry.hh"
 
 namespace dosa {
 namespace {
@@ -268,6 +269,13 @@ randomSpec(Rng &rng)
                     "c" + std::to_string(i), rng.uniformInt(1, 7),
                     rng.uniformInt(1, 64), rng.uniformInt(1, 128),
                     rng.uniformInt(1, 128), rng.uniformInt(1, 2)));
+    }
+    // Sometimes a by-name spec: the name must survive the trip even
+    // when it is not (yet) registered on the decoding side.
+    if (rng.bernoulli(0.2)) {
+        spec.workload.clear();
+        spec.workload_name =
+                "net-" + std::to_string(rng.uniformInt(0, 99));
     }
     // Full-range 64-bit seeds must survive the trip.
     spec.seed = (uint64_t(rng.uniformInt(0, 0xffffffff)) << 32) |
@@ -670,6 +678,49 @@ TEST(Service, StreamsAreByteIdenticalToDirectRunsAndGoldens)
         EXPECT_EQ(done.best_hw.accum_kib, g.accum_kib) << names[i];
         EXPECT_EQ(done.best_hw.spad_kib, g.spad_kib) << names[i];
     }
+}
+
+TEST(Service, ByNameSearchOfFileLoadedWorkloadStreamsIdentically)
+{
+    // The daemon path end to end: load a checked-in workload file,
+    // register it, and search it by name over the bus. The stream
+    // must be byte-identical to a direct run with the same layers
+    // inlined — by-name resolution adds nothing to the wire.
+    Network net;
+    std::string error;
+    ASSERT_TRUE(loadWorkloadFile(
+            DOSA_SOURCE_DIR "/workloads/bert.json", net, error))
+            << error;
+    net.name = "service-file-bert";
+    Workloads::registerWorkload(net);
+
+    SearchSpec by_name;
+    by_name.algorithm = "mapper";
+    by_name.workload_name = "service-file-bert";
+    by_name.seed = 17;
+    by_name.options.set("samples", 40);
+
+    SearchSpec inline_spec = by_name;
+    inline_spec.workload_name.clear();
+    inline_spec.workload = net.layers;
+
+    const std::string id = "by-name";
+    std::vector<std::string> expected =
+            expectedStream(id, inline_spec);
+
+    SearchService svc;
+    ServiceBus bus(svc);
+    ServiceBus::Client client = bus.connect();
+    client.send(service::encodeSearchRequest(id, by_name));
+    std::vector<std::string> streamed = collectStream(client);
+
+    ASSERT_EQ(streamed.size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j)
+        EXPECT_EQ(streamed[j], expected[j]) << "frame " << j;
+
+    Frame done = terminalFrame(streamed);
+    ASSERT_EQ(done.kind, Frame::Kind::Done);
+    EXPECT_GT(done.samples, 0u);
 }
 
 TEST(Service, ConcurrentClientsReceiveByteIdenticalStreams)

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the workload registry and the schema-1 workload file
+ * format: builtin anchoring (bitwise-equal to the legacy model_zoo
+ * builders), canonical encode/decode round-trips, strict-decoder
+ * diagnostics, hostile-input fuzzing, and canonical-form pinning of
+ * every checked-in workloads/ file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+#include "workload/llm_zoo.hh"
+#include "workload/model_zoo.hh"
+#include "workload/workload_registry.hh"
+
+namespace dosa {
+namespace {
+
+/** Exact field equality, name and count included. */
+void
+expectLayersEq(const std::vector<Layer> &a, const std::vector<Layer> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("layer " + std::to_string(i));
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].r, b[i].r);
+        EXPECT_EQ(a[i].s, b[i].s);
+        EXPECT_EQ(a[i].p, b[i].p);
+        EXPECT_EQ(a[i].q, b[i].q);
+        EXPECT_EQ(a[i].c, b[i].c);
+        EXPECT_EQ(a[i].k, b[i].k);
+        EXPECT_EQ(a[i].n, b[i].n);
+        EXPECT_EQ(a[i].stride, b[i].stride);
+        EXPECT_EQ(a[i].count, b[i].count);
+    }
+}
+
+std::string
+workloadsDir()
+{
+    return std::string(DOSA_SOURCE_DIR) + "/workloads";
+}
+
+/** Strict decode of `text`; expects success. */
+Network
+decodeOk(const std::string &text)
+{
+    json::Value value;
+    Network net;
+    std::string error;
+    EXPECT_TRUE(json::parse(text, value, error)) << error;
+    EXPECT_TRUE(workloadFromJson(value, net, error)) << error;
+    return net;
+}
+
+/** Strict decode of `text`; expects failure containing `substr`. */
+void
+expectDecodeError(const std::string &text, const std::string &substr)
+{
+    json::Value value;
+    Network net;
+    std::string error;
+    ASSERT_TRUE(json::parse(text, value, error)) << error;
+    EXPECT_FALSE(workloadFromJson(value, net, error)) << text;
+    EXPECT_NE(error.find(substr), std::string::npos)
+            << "error \"" << error << "\" does not mention \""
+            << substr << "\"";
+}
+
+TEST(WorkloadRegistry, BuiltinsArePrefixOfNames)
+{
+    // The builtin bootstrap registers the model_zoo networks then the
+    // llm_zoo cells, in a fixed order other tests rely on.
+    const std::vector<std::string> builtins{
+        "resnet50", "bert", "unet", "retinanet", "alexnet", "vgg16",
+        "resnext50", "deepbench", "llm_decode_7b", "llm_prefill_4k",
+        "llm_moe_ffn", "depthwise_edge",
+    };
+    std::vector<std::string> names = Workloads::names();
+    ASSERT_GE(names.size(), builtins.size());
+    for (size_t i = 0; i < builtins.size(); ++i)
+        EXPECT_EQ(names[i], builtins[i]);
+    for (const std::string &name : builtins)
+        EXPECT_NE(Workloads::find(name), nullptr) << name;
+}
+
+TEST(WorkloadRegistry, BuiltinsMatchZooBuildersBitwise)
+{
+    // The registry entries must be the *same* networks the legacy
+    // builders produce — not re-derived look-alikes.
+    struct Pair
+    {
+        const char *name;
+        Network net;
+    };
+    const Pair pairs[] = {
+        {"resnet50", resnet50()},     {"bert", bertBase()},
+        {"unet", unet()},             {"retinanet", retinanet()},
+        {"alexnet", alexnet()},       {"vgg16", vgg16()},
+        {"resnext50", resnext50()},   {"deepbench", deepbench()},
+        {"llm_decode_7b", llmDecode7b()},
+        {"llm_prefill_4k", llmPrefill4k()},
+        {"llm_moe_ffn", llmMoeFfn()},
+        {"depthwise_edge", depthwiseEdge()},
+    };
+    for (const Pair &pair : pairs) {
+        SCOPED_TRACE(pair.name);
+        const Network *reg = Workloads::find(pair.name);
+        ASSERT_NE(reg, nullptr);
+        EXPECT_EQ(reg->name, pair.net.name);
+        expectLayersEq(reg->layers, pair.net.layers);
+    }
+}
+
+TEST(WorkloadRegistry, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(Workloads::find("no-such-workload"), nullptr);
+    EXPECT_NE(Workloads::nameList().find("resnet50"),
+            std::string::npos);
+}
+
+TEST(WorkloadRegistry, LatestRegistrationWins)
+{
+    Network first;
+    first.name = "registry-shadow-test";
+    first.layers = {Layer::gemm("one", 8, 8, 8)};
+    Workloads::registerWorkload(first);
+
+    Network second = first;
+    second.layers.push_back(Layer::gemm("two", 4, 4, 4));
+    Workloads::registerWorkload(second);
+
+    const Network *found = Workloads::find("registry-shadow-test");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->layers.size(), 2u);
+
+    // names() reports each name once despite the shadowed entry.
+    std::vector<std::string> names = Workloads::names();
+    EXPECT_EQ(std::count(names.begin(), names.end(),
+                      std::string("registry-shadow-test")), 1);
+}
+
+TEST(WorkloadRegistryDeathTest, RegisteringIllFormedWorkloadPanics)
+{
+    Network nameless;
+    nameless.layers = {Layer::gemm("l", 2, 2, 2)};
+    EXPECT_DEATH(Workloads::registerWorkload(nameless),
+            "empty workload name");
+
+    Network empty;
+    empty.name = "no-layers";
+    EXPECT_DEATH(Workloads::registerWorkload(empty),
+            "workload has no layers");
+
+    Network bad;
+    bad.name = "bad-layer";
+    bad.layers = {Layer::gemm("l", 2, 2, 2)};
+    bad.layers[0].c = 0;
+    EXPECT_DEATH(Workloads::registerWorkload(bad),
+            "dimension must be >= 1");
+}
+
+TEST(WorkloadJson, CanonicalRoundTripEveryRegistryEntry)
+{
+    for (const std::string &name : Workloads::names()) {
+        SCOPED_TRACE(name);
+        const Network &net = *Workloads::find(name);
+        const std::string text = workloadFileText(net);
+
+        Network back = decodeOk(text);
+        EXPECT_EQ(back.name, net.name);
+        EXPECT_EQ(back.metadata, net.metadata);
+        expectLayersEq(back.layers, net.layers);
+
+        // Byte-stable: re-encoding the decoded network reproduces the
+        // canonical bytes exactly.
+        EXPECT_EQ(workloadFileText(back), text);
+
+        // The compact (wire) form round-trips through the pretty form.
+        json::Value pretty_parsed;
+        std::string error;
+        ASSERT_TRUE(json::parse(text, pretty_parsed, error)) << error;
+        EXPECT_EQ(pretty_parsed.dump(), workloadToJson(net).dump());
+    }
+}
+
+TEST(WorkloadJson, DefaultsOmittedAndRestored)
+{
+    // A decode GEMV (all spatial dims 1) serializes without r/s/p/q/
+    // stride members; decode restores the defaults.
+    Network net;
+    net.name = "gemv";
+    net.layers = {Layer::gemm("g", 1, 64, 128)};
+    const std::string compact = workloadToJson(net).dump();
+    EXPECT_EQ(compact,
+            "{\"layers\":[{\"c\":64,\"k\":128,\"name\":\"g\","
+            "\"type\":\"gemm\"}],\"name\":\"gemv\",\"schema\":1}");
+    Network back = decodeOk(compact);
+    expectLayersEq(back.layers, net.layers);
+}
+
+TEST(WorkloadJson, AcceptsOmittedTypeAndMetadata)
+{
+    Network net = decodeOk(
+            "{\"schema\":1,\"name\":\"n\","
+            "\"layers\":[{\"name\":\"l\",\"p\":8,\"c\":4,\"k\":2}]}");
+    EXPECT_TRUE(net.metadata.empty());
+    EXPECT_EQ(net.layers[0].p, 8);
+    EXPECT_EQ(net.layers[0].r, 1);
+
+    Network meta = decodeOk(
+            "{\"schema\":1,\"name\":\"n\",\"metadata\":{\"a\":\"b\"},"
+            "\"layers\":[{\"name\":\"l\",\"type\":\"gemm\"}]}");
+    EXPECT_EQ(meta.metadata.at("a"), "b");
+}
+
+TEST(WorkloadJson, StrictDecoderDiagnostics)
+{
+    const std::string ok_layer = "{\"name\":\"l\",\"c\":4,\"k\":2}";
+    // Missing / wrong schema.
+    expectDecodeError("{\"name\":\"x\",\"layers\":[" + ok_layer + "]}",
+            "workload schema 1");
+    expectDecodeError(
+            "{\"schema\":2,\"name\":\"x\",\"layers\":[" + ok_layer +
+            "]}", "workload schema 1 (got 2)");
+    // Missing name / layers.
+    expectDecodeError("{\"schema\":1,\"layers\":[" + ok_layer + "]}",
+            "name: expected a non-empty string");
+    expectDecodeError("{\"schema\":1,\"name\":\"x\",\"layers\":[]}",
+            "layers: expected a non-empty array");
+    expectDecodeError("{\"schema\":1,\"name\":\"x\",\"layers\":7}",
+            "layers: expected an array");
+    // Unknown keys are rejected at both levels, with paths.
+    expectDecodeError("{\"schema\":1,\"name\":\"x\",\"layers\":[" +
+            ok_layer + "],\"extra\":1}", "unknown key \"extra\"");
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\","
+            "\"layers\":[{\"name\":\"l\",\"weird\":1}]}",
+            "workload.layers[0]: unknown key \"weird\"");
+    // Layer field diagnostics carry the indexed path.
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\","
+            "\"layers\":[{\"name\":\"l\",\"stride\":\"two\"}]}",
+            "workload.layers[0]: stride: expected a number");
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\","
+            "\"layers\":[{\"name\":\"l\",\"c\":0}]}",
+            "dimension must be >= 1");
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\",\"layers\":[{\"c\":4}]}",
+            "workload.layers[0]: name: expected a non-empty string");
+    // Declared type must exist and match the shape.
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\","
+            "\"layers\":[{\"name\":\"l\",\"type\":\"matmul\"}]}",
+            "type: expected \"conv\" or \"gemm\"");
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\","
+            "\"layers\":[{\"name\":\"l\",\"type\":\"conv\"}]}",
+            "does not match the shape");
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\","
+            "\"layers\":[{\"name\":\"l\",\"r\":3,\"type\":\"gemm\"}]}",
+            "does not match the shape");
+    // Metadata values must be strings.
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\",\"layers\":[" + ok_layer +
+            "],\"metadata\":{\"k\":3}}",
+            "metadata.k: expected a string");
+    expectDecodeError(
+            "{\"schema\":1,\"name\":\"x\",\"layers\":[" + ok_layer +
+            "],\"metadata\":[]}", "metadata: expected an object");
+}
+
+TEST(WorkloadJson, FuzzedMutationsNeverCrash)
+{
+    // Same idiom as test_json's parser fuzz, but driving the full
+    // file pipeline: parse + strict decode + (on success) canonical
+    // re-encode. Nothing may crash, failures must carry diagnostics,
+    // and whatever decodes must round-trip byte-stably.
+    const std::string seed_doc = workloadFileText(llmMoeFfn());
+    Rng rng(0xbadcab1e);
+    size_t decoded = 0;
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string doc = seed_doc;
+        int edits = int(rng.uniformInt(1, 4));
+        for (int e = 0; e < edits; ++e) {
+            size_t pos = size_t(
+                    rng.uniformInt(0, int64_t(doc.size()) - 1));
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                doc[pos] = char(rng.uniformInt(0, 255));
+                break;
+              case 1:
+                doc.erase(pos, 1);
+                break;
+              default:
+                doc.insert(pos, 1, char(rng.uniformInt(0, 255)));
+                break;
+            }
+            if (doc.empty())
+                break;
+        }
+        json::Value value;
+        Network net;
+        std::string error;
+        if (!json::parse(doc, value, error)) {
+            EXPECT_FALSE(error.empty());
+            continue;
+        }
+        if (!workloadFromJson(value, net, error)) {
+            EXPECT_FALSE(error.empty());
+            continue;
+        }
+        ++decoded;
+        const std::string text = workloadFileText(net);
+        Network again = decodeOk(text);
+        EXPECT_EQ(workloadFileText(again), text);
+    }
+    // Sanity: strict decoding rejects the vast majority of mutants.
+    EXPECT_LT(decoded, 2000u);
+}
+
+TEST(WorkloadJson, TruncationsNeverCrash)
+{
+    const std::string doc = workloadFileText(depthwiseEdge());
+    for (size_t len = 0; len < doc.size(); ++len) {
+        json::Value value;
+        Network net;
+        std::string error;
+        if (!json::parse(doc.substr(0, len), value, error)) {
+            EXPECT_FALSE(error.empty()) << "prefix length " << len;
+            continue;
+        }
+        // Only the trailing-whitespace prefixes still parse; they
+        // must decode to the full network.
+        ASSERT_TRUE(workloadFromJson(value, net, error))
+                << "prefix length " << len << ": " << error;
+        EXPECT_EQ(workloadFileText(net), doc);
+    }
+}
+
+TEST(WorkloadFiles, CheckedInFilesAreCanonicalAndNamedByStem)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    for (const auto &entry : fs::directory_iterator(workloadsDir()))
+        if (entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+    // The two paper cells + the four llm_zoo cells, at minimum.
+    ASSERT_GE(paths.size(), 6u);
+
+    for (const std::string &path : paths) {
+        SCOPED_TRACE(path);
+        Network net;
+        std::string error;
+        ASSERT_TRUE(loadWorkloadFile(path, net, error)) << error;
+        // File name matches the workload it declares.
+        EXPECT_EQ(fs::path(path).stem().string(), net.name);
+        // On-disk bytes are exactly the canonical encoding: a
+        // hand-edit that changes formatting (or relies on decoder
+        // defaults) must be re-canonicalized via
+        //   workload_tour --canonicalize FILE --out FILE
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        EXPECT_EQ(bytes.str(), workloadFileText(net))
+                << path << " is not in canonical form";
+    }
+}
+
+TEST(WorkloadFiles, PaperCellFilesMatchZooBuilders)
+{
+    // The checked-in resnet50/bert files are exports of the Table-6
+    // builders: same layers bit-for-bit, so a search over the file
+    // equals a search over the compiled-in network.
+    for (const auto &[file, net] :
+         {std::pair<const char *, Network>{"resnet50", resnet50()},
+          std::pair<const char *, Network>{"bert", bertBase()}}) {
+        SCOPED_TRACE(file);
+        Network loaded;
+        std::string error;
+        ASSERT_TRUE(loadWorkloadFile(
+                workloadsDir() + "/" + file + ".json", loaded, error))
+                << error;
+        EXPECT_EQ(loaded.name, net.name);
+        expectLayersEq(loaded.layers, net.layers);
+    }
+}
+
+TEST(WorkloadFiles, MissingFileAndBadJsonFail)
+{
+    Network net;
+    std::string error;
+    EXPECT_FALSE(loadWorkloadFile("/no/such/workload.json", net,
+            error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+    // A file that exists but is not a workload reports its path in
+    // the diagnostic.
+    const std::string bogus = "not json at all";
+    std::string tmp = "bad_workload_test.json";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        out << bogus;
+    }
+    EXPECT_FALSE(loadWorkloadFile(tmp, net, error));
+    EXPECT_NE(error.find(tmp), std::string::npos) << error;
+    std::remove(tmp.c_str());
+}
+
+TEST(WorkloadJson, MustWorkloadFromJsonAcceptsCanonicalText)
+{
+    Network net = mustWorkloadFromJson(workloadFileText(llmDecode7b()));
+    EXPECT_EQ(net.name, "llm_decode_7b");
+    expectLayersEq(net.layers, llmDecode7b().layers);
+}
+
+TEST(WorkloadJsonDeathTest, MustWorkloadFromJsonIsFatalOnBadText)
+{
+    EXPECT_EXIT(mustWorkloadFromJson("{\"schema\":1}"),
+            ::testing::ExitedWithCode(1), "mustWorkloadFromJson");
+}
+
+} // namespace
+} // namespace dosa
