@@ -70,7 +70,8 @@ main(int argc, char **argv)
     std::printf("%s (threshold %.0f%%):\n%s", path.c_str(),
             threshold * 100.0, check.detail.c_str());
     if (!check.compared) {
-        std::printf("no comparable prior line; nothing to gate\n");
+        std::printf("no baseline for this configuration "
+                    "(first run); nothing to gate\n");
         return 0;
     }
     if (!check.ok) {

@@ -30,6 +30,24 @@
 
 namespace dosa {
 
+/**
+ * One sample entering the Pareto front of a multi-objective run
+ * (`SearchSpec::mode.pareto`), streamed in trace order right after
+ * the sample's own `onSample`. Never fires on single-objective runs.
+ */
+struct FrontierEvent
+{
+    /** 0-based trace index of the sample that entered the front. */
+    size_t index = 0;
+    /** The entering point's metrics (disabled axes carry 0). */
+    double edp = 0.0;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+    /** Frontier size after this insertion (dominated points whose
+     *  removal this entry caused are already gone). */
+    size_t front_size = 0;
+};
+
 /** One recorded sample, streamed in trace order. */
 struct SampleEvent
 {
@@ -82,6 +100,17 @@ class SearchObserver
     /** The best-so-far EDP strictly improved at this sample. */
     virtual void
     onImprovement(const SampleEvent &event)
+    {
+        (void)event;
+    }
+
+    /**
+     * A sample entered the Pareto front of a multi-objective run;
+     * fires after the sample's `onSample` (and `onImprovement`, when
+     * both apply). Single-objective runs never deliver this.
+     */
+    virtual void
+    onFrontier(const FrontierEvent &event)
     {
         (void)event;
     }

@@ -7,6 +7,9 @@
 #include "api/search_api.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <limits>
 #include <mutex>
 
 #include "exec/eval_cache.hh"
@@ -103,7 +106,17 @@ checkOptions(const SearchSpec &spec, const Searcher &searcher,
     return true;
 }
 
-/** Scoped eval-cache policy: applies the spec's mode, restores after. */
+/**
+ * Scoped eval-cache policy: applies the spec's mode, restores after.
+ *
+ * The enabled flag it toggles lives on the process-global EvalCache,
+ * so two overlapping non-Inherit guards race: whichever destructor
+ * runs last "restores" the flag to a value sampled while the other
+ * guard's override was live. The service refuses such specs outright
+ * (`SearchService::submit` rejects `cache != Inherit`); direct
+ * `runSearch` callers get the docs/ARCHITECTURE.md warning plus the
+ * debug assertion below when two non-Inherit guards actually overlap.
+ */
 class CacheModeGuard
 {
   public:
@@ -111,17 +124,34 @@ class CacheModeGuard
         : restore_(globalEvalCache().enabled()),
           active_(mode != CacheMode::Inherit)
     {
-        if (active_)
+        if (active_) {
+            [[maybe_unused]] int prev = activeOverrides().fetch_add(
+                    1, std::memory_order_acq_rel);
+            assert(prev == 0 &&
+                    "concurrent runSearch calls with CacheMode != "
+                    "Inherit race on the process-global EvalCache "
+                    "flag; use CacheMode::Inherit and set the global "
+                    "cache policy once instead");
             globalEvalCache().setEnabled(mode == CacheMode::Enabled);
+        }
     }
 
     ~CacheModeGuard()
     {
-        if (active_)
+        if (active_) {
             globalEvalCache().setEnabled(restore_);
+            activeOverrides().fetch_sub(1, std::memory_order_acq_rel);
+        }
     }
 
   private:
+    static std::atomic<int> &
+    activeOverrides()
+    {
+        static std::atomic<int> count{0};
+        return count;
+    }
+
     bool restore_;
     bool active_;
 };
@@ -224,6 +254,25 @@ validateSpec(const SearchSpec &spec, std::string &error)
         error = "search budget limits must be non-negative";
         return false;
     }
+    const ParetoObjectives &pareto = spec.mode.pareto;
+    if (!pareto.edp.enabled && !pareto.area.enabled &&
+        !pareto.power.enabled) {
+        error = "search spec pareto mode disables every objective "
+                "axis (enable at least one of edp/area/power)";
+        return false;
+    }
+    auto bad_weight = [](const ParetoAxis &axis) {
+        return axis.enabled &&
+               !(axis.weight > 0.0 &&
+                       axis.weight <=
+                               std::numeric_limits<double>::max());
+    };
+    if (bad_weight(pareto.edp) || bad_weight(pareto.area) ||
+        bad_weight(pareto.power)) {
+        error = "search spec pareto axis weights must be positive "
+                "and finite";
+        return false;
+    }
     return true;
 }
 
@@ -274,6 +323,16 @@ runSearch(const SearchSpec &spec, SearchObserver *observer)
             static_cast<size_t>(spec.budget.max_samples),
             spec.budget.deadline_s, std::move(on_sample),
             std::move(on_phase));
+    if (observer != nullptr && spec.mode.pareto.active()) {
+        control.setFrontierCallback(
+                [observer](const ParetoPoint &point,
+                        size_t front_size) {
+                    FrontierEvent event{point.sample_index, point.edp,
+                            point.area_mm2, point.power_w,
+                            front_size};
+                    observer->onFrontier(event);
+                });
+    }
 
     control.phase("setup");
     SearchReport report = searcher->run(spec, &control);

@@ -139,6 +139,7 @@ class RandomSearcher : public Searcher
         cfg.seed = spec.seed;
         cfg.jobs = spec.jobs;
         cfg.scorer = spec.scorer;
+        cfg.pareto = spec.mode.pareto;
         cfg.hw_designs = static_cast<int>(
                 opt.getInt("hw_designs", cfg.hw_designs));
         if (opt.has("mappings_per_hw"))
@@ -214,7 +215,7 @@ class MapperSearcher : public Searcher
         SearchReport report;
         report.search = detail::randomMapperSearchImpl(spec.workload,
                 spec.fixed_hw, samplesFromSpec(spec), spec.seed,
-                spec.jobs, spec.scorer, control);
+                spec.jobs, spec.scorer, control, spec.mode.pareto);
         return report;
     }
 };
@@ -248,6 +249,7 @@ class BayesOptSearcher : public Searcher
         cfg.seed = spec.seed;
         cfg.jobs = spec.jobs;
         cfg.scorer = spec.scorer;
+        cfg.pareto = spec.mode.pareto;
         cfg.warmup_samples = static_cast<int>(
                 opt.getInt("warmup_samples", cfg.warmup_samples));
         if (opt.has("total_samples"))
@@ -364,6 +366,7 @@ randomSearch(const std::vector<Layer> &layers,
         return detail::randomSearchImpl(layers, cfg);
     SearchSpec spec = baseSpec("random", layers, cfg.seed, cfg.jobs,
             cfg.scorer);
+    spec.mode.pareto = cfg.pareto;
     spec.options.set("hw_designs", cfg.hw_designs)
             .set("mappings_per_hw", cfg.mappings_per_hw);
     SearchReport report = runSearch(spec);
@@ -390,6 +393,7 @@ bayesOptSearch(const std::vector<Layer> &layers,
         return detail::bayesOptSearchImpl(layers, cfg);
     SearchSpec spec = baseSpec("bayesopt", layers, cfg.seed, cfg.jobs,
             cfg.scorer);
+    spec.mode.pareto = cfg.pareto;
     spec.options.set("warmup_samples", cfg.warmup_samples)
             .set("total_samples", cfg.total_samples)
             .set("hw_candidates", cfg.hw_candidates)

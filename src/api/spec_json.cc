@@ -79,6 +79,25 @@ hwFromJson(const json::Value &value, const std::string &path,
     return r.finish();
 }
 
+json::Value
+paretoAxisToJson(const ParetoAxis &axis)
+{
+    json::Value v = json::Value::object();
+    v.set("enabled", json::Value::boolean(axis.enabled));
+    v.set("weight", json::Value::number(axis.weight));
+    return v;
+}
+
+bool
+paretoAxisFromJson(const json::Value &value, const std::string &path,
+                   ParetoAxis &out, std::string &error)
+{
+    json::ObjectReader r(value, path, error);
+    r.readBool("enabled", out.enabled);
+    r.readDouble("weight", out.weight);
+    return r.finish();
+}
+
 } // namespace
 
 json::Value
@@ -111,6 +130,11 @@ specToJsonValue(const SearchSpec &spec)
     for (double w : spec.mode.layer_weights)
         weights.push(json::Value::number(w));
     mode.set("layer_weights", std::move(weights));
+    json::Value pareto = json::Value::object();
+    pareto.set("edp", paretoAxisToJson(spec.mode.pareto.edp));
+    pareto.set("area", paretoAxisToJson(spec.mode.pareto.area));
+    pareto.set("power", paretoAxisToJson(spec.mode.pareto.power));
+    mode.set("pareto", std::move(pareto));
     v.set("mode", std::move(mode));
 
     json::Value budget = json::Value::object();
@@ -174,6 +198,26 @@ specFromJsonValue(const json::Value &value, SearchSpec &out,
                     return m.fail("layer_weights: expected numbers");
                 out.mode.layer_weights.push_back(w.asDouble());
             }
+        }
+        if (const json::Value *pareto = m.consume("pareto")) {
+            json::ObjectReader p(*pareto, "spec.mode.pareto", error);
+            if (const json::Value *axis = p.consume("edp"))
+                if (!paretoAxisFromJson(*axis,
+                            "spec.mode.pareto.edp",
+                            out.mode.pareto.edp, error))
+                    return false;
+            if (const json::Value *axis = p.consume("area"))
+                if (!paretoAxisFromJson(*axis,
+                            "spec.mode.pareto.area",
+                            out.mode.pareto.area, error))
+                    return false;
+            if (const json::Value *axis = p.consume("power"))
+                if (!paretoAxisFromJson(*axis,
+                            "spec.mode.pareto.power",
+                            out.mode.pareto.power, error))
+                    return false;
+            if (!p.finish())
+                return false;
         }
         if (!m.finish())
             return false;

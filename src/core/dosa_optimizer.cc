@@ -281,6 +281,12 @@ struct StartOutcome
     bool start_valid = false;
     double start_edp = std::numeric_limits<double>::infinity();
     HardwareConfig start_hw;
+    /**
+     * Concrete samples that entered this start's *local* Pareto front
+     * (multi-objective runs only), keyed by offset into `samples`;
+     * the serial merge re-checks them globally.
+     */
+    std::vector<ParetoCandidate> candidates;
 };
 
 /**
@@ -341,6 +347,31 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
     std::vector<OrderVec> orders = std::move(start.orders);
     std::vector<double> x = std::move(start.x);
 
+    // Local frontier filter for multi-objective runs: only points of
+    // this start's own Pareto front travel to the merge (everything
+    // the start dominates locally is dominated globally too).
+    const bool pareto = cfg.mode.pareto.active();
+    ParetoFront local;
+    if (pareto)
+        local.configure(cfg.mode.pareto);
+    auto offer = [&](double edp, double energy_uj, double latency,
+                     const HardwareConfig &hw,
+                     const std::vector<Mapping> &maps) {
+        if (!pareto || latency <= 0.0)
+            return;
+        ParetoPoint point;
+        point.edp = edp;
+        point.area_mm2 = configAreaMm2(hw);
+        point.power_w = energy_uj / latency * 1000.0;
+        point.hw = hw;
+        if (local.wouldAccept(point.edp, point.area_mm2,
+                    point.power_w)) {
+            point.mappings = maps;
+            out.candidates.push_back({out.samples.size(), point});
+            local.consider(std::move(point));
+        }
+    };
+
     // Score the concrete start point (one sample).
     {
         HardwareConfig hw0 = scoringHw(layers, mappings, cfg.mode);
@@ -351,6 +382,7 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
             out.start_valid = true;
             out.start_edp = ev0.edp;
             out.start_hw = hw0;
+            offer(ev0.edp, ev0.energy_uj, ev0.latency, hw0, mappings);
         }
         if (valid0 && ev0.edp < out.best_edp) {
             out.best_edp = ev0.edp;
@@ -451,6 +483,9 @@ runStartPoint(const std::vector<Layer> &layers, const DosaConfig &cfg,
             out.best_hw = design.hw;
             out.best_mappings = design.mappings;
         }
+        if (valid)
+            offer(design.edp, design.energy_uj, design.latency,
+                    design.hw, design.mappings);
         out.samples.push_back(valid ? design.edp : kInf);
 
         // Project the variables onto the rounded point; if this
@@ -485,6 +520,8 @@ detail::dosaSearchImpl(const std::vector<Layer> &layers,
     DosaResult result;
     result.best_start_edp = kInf;
     result.search.control = cfg.control;
+    if (cfg.mode.pareto.active())
+        result.search.frontier.configure(cfg.mode.pareto);
 
     ThreadPool pool(cfg.jobs);
     const size_t num_starts = static_cast<size_t>(cfg.start_points);
@@ -568,7 +605,7 @@ detail::dosaSearchImpl(const std::vector<Layer> &layers,
         // mergeOutcome keeps the serial-stream strict-< tie-breaking
         // and the design/trace consistency contract under hard stops.
         result.search.mergeOutcome(o.samples, o.best_edp, o.best_hw,
-                o.best_mappings);
+                o.best_mappings, o.candidates);
     }
     return result;
 }

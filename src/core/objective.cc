@@ -106,7 +106,8 @@ modeEquals(const ObjectiveMode &a, const ObjectiveMode &b)
            a.penalty_weight == b.penalty_weight &&
            a.max_area_mm2 == b.max_area_mm2 &&
            a.latency_model == b.latency_model &&
-           a.layer_weights == b.layer_weights;
+           a.layer_weights == b.layer_weights &&
+           a.pareto == b.pareto;
 }
 
 } // namespace
@@ -275,16 +276,44 @@ ObjectiveEngine::build(const std::vector<Layer> &layers,
         total_latency = total_latency + Var(cnt) * l_l;
     }
 
-    Var loss = log(total_energy) + log(total_latency) +
-               Var(mode.penalty_weight) * penalty;
-    if (mode.max_area_mm2 > 0.0) {
+    if (!mode.pareto.active()) {
+        // Single-objective path: the exact node sequence the golden
+        // traces pin — no Pareto machinery touches the tape here.
+        Var loss = log(total_energy) + log(total_latency) +
+                   Var(mode.penalty_weight) * penalty;
+        if (mode.max_area_mm2 > 0.0) {
+            Var area = AreaModel::areaMm2(hw.cpe, hw.accum_words,
+                    hw.spad_words);
+            loss = loss + Var(mode.penalty_weight) *
+                    relu(area / Var(mode.max_area_mm2) - Var(1.0));
+        }
+        loss_id_ = loss.id();
+        area_id_ = ad::kNoParent;
+        power_id_ = ad::kNoParent;
+    } else {
+        // Multi-objective path: every enabled axis is a head on the
+        // same tape (one replay values them all), and the descent
+        // follows the weighted sum of log-metrics — with one axis at
+        // weight 1 this degenerates to the single-objective loss.
+        // Power is the 1 GHz proxy W = uJ * 1e-6 / (cycles * 1e-9).
         Var area = AreaModel::areaMm2(hw.cpe, hw.accum_words,
                 hw.spad_words);
-        loss = loss + Var(mode.penalty_weight) *
-                relu(area / Var(mode.max_area_mm2) - Var(1.0));
+        Var power = total_energy / total_latency * Var(1000.0);
+        Var loss = Var(mode.penalty_weight) * penalty;
+        if (mode.pareto.edp.enabled)
+            loss = loss + Var(mode.pareto.edp.weight) *
+                    (log(total_energy) + log(total_latency));
+        if (mode.pareto.area.enabled)
+            loss = loss + Var(mode.pareto.area.weight) * log(area);
+        if (mode.pareto.power.enabled)
+            loss = loss + Var(mode.pareto.power.weight) * log(power);
+        if (mode.max_area_mm2 > 0.0)
+            loss = loss + Var(mode.penalty_weight) *
+                    relu(area / Var(mode.max_area_mm2) - Var(1.0));
+        loss_id_ = loss.id();
+        area_id_ = area.id();
+        power_id_ = power.id();
     }
-
-    loss_id_ = loss.id();
     energy_id_ = total_energy.id();
     latency_id_ = total_latency.id();
     penalty_id_ = penalty.id();
@@ -307,6 +336,10 @@ ObjectiveEngine::extract(const std::vector<double> &x)
     out_.latency = tape_.value(latency_id_);
     out_.penalty = tape_.value(penalty_id_);
     out_.edp = out_.energy_uj * out_.latency;
+    out_.area_mm2 =
+            area_id_ == ad::kNoParent ? 0.0 : tape_.value(area_id_);
+    out_.power_w =
+            power_id_ == ad::kNoParent ? 0.0 : tape_.value(power_id_);
     tape_.gradientInto(loss_id_, adj_);
     out_.grad.resize(x.size());
     for (size_t i = 0; i < x.size(); ++i)
@@ -393,9 +426,11 @@ ObjectiveEngine::evalBatch(const std::vector<Layer> &layers,
     for (size_t k = 0; k < lanes; ++k)
         std::copy(xs[k].begin(), xs[k].end(),
                 batch_leaves_.begin() + static_cast<long>(k * dim));
-    const ad::NodeId heads[] = {loss_id_, energy_id_, latency_id_,
-                                penalty_id_};
-    constexpr size_t kHeads = 4;
+    // 4 heads single-objective, +area +power in Pareto mode — the
+    // extra axes ride the same lane-blocked sweep for free.
+    const ad::NodeId heads[] = {loss_id_,    energy_id_, latency_id_,
+                                penalty_id_, area_id_,   power_id_};
+    const size_t kHeads = area_id_ == ad::kNoParent ? 4 : 6;
     batch_heads_.resize(lanes * kHeads);
     tape_.replayBatch(batch_leaves_,
             std::span<const ad::NodeId>(heads, kHeads), batch_heads_);
@@ -411,6 +446,8 @@ ObjectiveEngine::evalBatch(const std::vector<Layer> &layers,
         ev.latency = batch_heads_[k * kHeads + 2];
         ev.penalty = batch_heads_[k * kHeads + 3];
         ev.edp = ev.energy_uj * ev.latency;
+        ev.area_mm2 = kHeads > 4 ? batch_heads_[k * kHeads + 4] : 0.0;
+        ev.power_w = kHeads > 4 ? batch_heads_[k * kHeads + 5] : 0.0;
         ev.grad.resize(dim);
         for (size_t i = 0; i < dim; ++i)
             ev.grad[i] =

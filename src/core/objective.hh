@@ -151,6 +151,51 @@ enum class OrderStrategy
 /** Name of a strategy ("Baseline", "Iterate", "Softmax"). */
 const char *strategyName(OrderStrategy s);
 
+/** One axis of the multi-objective set: enabled + descent weight. */
+struct ParetoAxis
+{
+    bool enabled = false;
+    /** Weight of this axis' log-metric term in the scalarized loss
+     *  the gradient descent follows (ignored when disabled). */
+    double weight = 1.0;
+
+    bool
+    operator==(const ParetoAxis &o) const
+    {
+        return enabled == o.enabled && weight == o.weight;
+    }
+};
+
+/**
+ * The multi-objective (Pareto) objective set: which of {EDP, area,
+ * power} the search minimizes and how the differentiable loss weighs
+ * them. EDP defaults on; enabling area or power switches the search
+ * into multi-objective mode — `ObjectiveEngine` values every enabled
+ * axis in the same tape replay, and the searchers maintain a
+ * non-dominated `ParetoFront` over the enabled axes in addition to
+ * the scalar best-EDP incumbent. With only EDP enabled the mode is
+ * inert: the loss, trace and every recorded byte are identical to a
+ * default-mode run.
+ */
+struct ParetoObjectives
+{
+    ParetoAxis edp{true, 1.0};
+    ParetoAxis area;  ///< silicon area in mm^2 (AreaModel)
+    ParetoAxis power; ///< average power in W at the 1 GHz clock
+    /** True when any axis beyond plain EDP participates. */
+    bool
+    active() const
+    {
+        return area.enabled || power.enabled;
+    }
+
+    bool
+    operator==(const ParetoObjectives &o) const
+    {
+        return edp == o.edp && area == o.area && power == o.power;
+    }
+};
+
 /** Objective-evaluation mode. */
 struct ObjectiveMode
 {
@@ -188,6 +233,13 @@ struct ObjectiveMode
      */
     std::vector<double> layer_weights;
 
+    /**
+     * Multi-objective axis set. Default ({EDP}) keeps every
+     * single-objective code path bitwise-unchanged; see
+     * `ParetoObjectives`.
+     */
+    ParetoObjectives pareto;
+
     /** Spatial cap used for penalties and rounding. */
     int64_t peCap() const { return fix_pe ? pe_dim : kMaxPeDim; }
 };
@@ -203,6 +255,12 @@ struct ObjectiveEval
     double latency = 0.0;
     double edp = 0.0;
     double penalty = 0.0;
+    /** Differentiable area estimate in mm^2; valued only when
+     *  `mode.pareto.active()` (0.0 otherwise). */
+    double area_mm2 = 0.0;
+    /** Average power in W (energy/latency at 1 GHz); valued only
+     *  when `mode.pareto.active()` (0.0 otherwise). */
+    double power_w = 0.0;
     std::vector<double> grad; ///< d loss / d x, same layout as x
 };
 
@@ -312,6 +370,9 @@ class ObjectiveEngine
     ad::NodeId energy_id_ = ad::kNoParent;
     ad::NodeId latency_id_ = ad::kNoParent;
     ad::NodeId penalty_id_ = ad::kNoParent;
+    // Multi-objective heads (kNoParent unless mode.pareto.active()).
+    ad::NodeId area_id_ = ad::kNoParent;
+    ad::NodeId power_id_ = ad::kNoParent;
 
     // Cached context signature guarding the replay fast path.
     bool has_context_ = false;

@@ -94,7 +94,8 @@ checkTrajectory(const std::vector<json::Value> &lines, double threshold)
 {
     TrajectoryCheck out;
     if (lines.size() < 2) {
-        out.detail = "fewer than two lines; nothing to compare\n";
+        out.detail = "no baseline: fewer than two lines; "
+                     "nothing to compare\n";
         return out;
     }
     const json::Value &newest = lines.back();
@@ -107,8 +108,8 @@ checkTrajectory(const std::vector<json::Value> &lines, double threshold)
         }
     }
     if (prior == nullptr) {
-        out.detail = "no prior line with a matching context; "
-                     "nothing to compare\n";
+        out.detail = "no baseline: no prior line with a matching "
+                     "context; nothing to compare\n";
         return out;
     }
     out.compared = true;

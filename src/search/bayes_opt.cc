@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/area_model.hh"
 #include "exec/eval_cache.hh"
 #include "exec/thread_pool.hh"
 #include "gp/gaussian_process.hh"
@@ -48,6 +49,8 @@ detail::bayesOptSearchImpl(const std::vector<Layer> &layers,
     Rng rng(cfg.seed);
     SearchResult result;
     result.control = cfg.control;
+    if (cfg.pareto.active())
+        result.frontier.configure(cfg.pareto);
     result.reserveTrace(static_cast<size_t>(cfg.total_samples));
     ThreadPool pool(cfg.jobs);
     TrainSet train(static_cast<size_t>(cfg.max_train_points));
@@ -78,8 +81,24 @@ detail::bayesOptSearchImpl(const std::vector<Layer> &layers,
                       std::log(std::max(layer_edp, 1e-30)));
         }
         double edp = e * l;
+        // Serial searcher: merges run one sample at a time, so the
+        // global front is the local history and pre-filtering against
+        // it skips the mapping-snapshot copy for dominated samples.
+        ParetoCandidate candidate;
+        std::span<const ParetoCandidate> candidates;
+        if (cfg.pareto.active() && l > 0.0 &&
+            result.frontier.wouldAccept(edp, configAreaMm2(hw),
+                    e / l * 1000.0)) {
+            candidate.point.edp = edp;
+            candidate.point.area_mm2 = configAreaMm2(hw);
+            candidate.point.power_w = e / l * 1000.0;
+            candidate.point.hw = hw;
+            candidate.point.mappings = maps;
+            candidates = std::span<const ParetoCandidate>(
+                    &candidate, 1);
+        }
         result.mergeOutcome(std::span<const double>(&edp, 1), edp, hw,
-                maps);
+                maps, candidates);
         return edp;
     };
 

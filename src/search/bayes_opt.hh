@@ -50,6 +50,13 @@ struct BayesOptConfig
      * null when calling the searcher directly. Not owned.
      */
     SearchControl *control = nullptr;
+    /**
+     * Multi-objective axes. When a second axis is enabled
+     * (`pareto.active()`), the search also maintains the Pareto front
+     * over the enabled axes in `SearchResult::frontier`; otherwise
+     * the single-objective path runs bit-identically to before.
+     */
+    ParetoObjectives pareto;
 };
 
 /**

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 
+#include "arch/area_model.hh"
 #include "exec/thread_pool.hh"
 #include "model/reference.hh"
 #include "util/logging.hh"
@@ -28,6 +29,12 @@ struct HwOutcome
     std::vector<double> sample_edp;
     std::vector<Mapping> best;
     double best_edp = std::numeric_limits<double>::infinity();
+    /**
+     * Samples that entered this design's *local* Pareto front
+     * (multi-objective runs only), keyed by offset into
+     * `sample_edp`; the serial merge re-checks them globally.
+     */
+    std::vector<ParetoCandidate> candidates;
 };
 
 /**
@@ -39,11 +46,19 @@ struct HwOutcome
 HwOutcome
 sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
                int samples, Rng rng, const LatencyScorer &scorer,
-               const SearchControl *control)
+               const SearchControl *control,
+               const ParetoObjectives &pareto)
 {
     HwOutcome out;
     out.hw = hw;
     out.sample_edp.reserve(static_cast<size_t>(samples));
+    // Local frontier filter for multi-objective runs: a sample the
+    // design's own history dominates is dominated globally too, so
+    // only local front entries travel to the merge.
+    ParetoFront local;
+    const double area_mm2 = pareto.active() ? configAreaMm2(hw) : 0.0;
+    if (pareto.active())
+        local.configure(pareto);
     std::vector<Mapping> incumbent(layers.size());
     std::vector<double> best_layer_edp(layers.size(),
             std::numeric_limits<double>::infinity());
@@ -95,6 +110,20 @@ sampleHardware(const std::vector<Layer> &layers, const HardwareConfig &hw,
             out.best_edp = edp;
             out.best = incumbent;
         }
+        if (pareto.active() && l > 0.0) {
+            ParetoPoint point;
+            point.edp = edp;
+            point.area_mm2 = area_mm2;
+            point.power_w = e / l * 1000.0;
+            point.hw = hw;
+            if (local.wouldAccept(point.edp, point.area_mm2,
+                        point.power_w)) {
+                point.mappings = incumbent;
+                out.candidates.push_back(
+                        {out.sample_edp.size(), point});
+                local.consider(std::move(point));
+            }
+        }
         out.sample_edp.push_back(edp);
     }
     return out;
@@ -108,6 +137,8 @@ detail::randomSearchImpl(const std::vector<Layer> &layers,
 {
     SearchResult result;
     result.control = cfg.control;
+    if (cfg.pareto.active())
+        result.frontier.configure(cfg.pareto);
     result.reserveTrace(static_cast<size_t>(cfg.hw_designs) *
             static_cast<size_t>(cfg.mappings_per_hw));
     ThreadPool pool(cfg.jobs);
@@ -121,7 +152,7 @@ detail::randomSearchImpl(const std::vector<Layer> &layers,
         Rng rng = Rng::stream(cfg.seed, h);
         HardwareConfig hw = randomHardware(rng);
         return sampleHardware(layers, hw, cfg.mappings_per_hw,
-                std::move(rng), cfg.scorer, cfg.control);
+                std::move(rng), cfg.scorer, cfg.control, cfg.pareto);
     });
 
     // Serial merge in design order (trace convention; mergeOutcome
@@ -134,7 +165,8 @@ detail::randomSearchImpl(const std::vector<Layer> &layers,
         if (cfg.control != nullptr &&
             cfg.control->recordingStopped())
             break;
-        result.mergeOutcome(o.sample_edp, o.best_edp, o.hw, o.best);
+        result.mergeOutcome(o.sample_edp, o.best_edp, o.hw, o.best,
+                o.candidates);
     }
     return result;
 }
@@ -144,10 +176,14 @@ detail::randomMapperSearchImpl(const std::vector<Layer> &layers,
                                const HardwareConfig &hw, int samples,
                                uint64_t seed, int jobs,
                                const LatencyScorer &scorer,
-                               SearchControl *control)
+                               SearchControl *control,
+                               const ParetoObjectives &pareto)
 {
     SearchResult result;
     result.control = control;
+    if (pareto.active())
+        result.frontier.configure(pareto);
+    const double area_mm2 = pareto.active() ? configAreaMm2(hw) : 0.0;
     result.reserveTrace(static_cast<size_t>(samples));
     ThreadPool pool(jobs);
     if (control != nullptr)
@@ -221,8 +257,24 @@ detail::randomMapperSearchImpl(const std::vector<Layer> &layers,
                 l += cnt * best_latency[li];
             }
             double edp = e * l;
+            // Merges run one sample at a time, so the global front
+            // *is* the local history: pre-filtering against it keeps
+            // the mapping-snapshot copy off the dominated path.
+            ParetoCandidate candidate;
+            std::span<const ParetoCandidate> candidates;
+            if (pareto.active() && l > 0.0 &&
+                result.frontier.wouldAccept(edp, area_mm2,
+                        e / l * 1000.0)) {
+                candidate.point.edp = edp;
+                candidate.point.area_mm2 = area_mm2;
+                candidate.point.power_w = e / l * 1000.0;
+                candidate.point.hw = hw;
+                candidate.point.mappings = best;
+                candidates = std::span<const ParetoCandidate>(
+                        &candidate, 1);
+            }
             result.mergeOutcome(std::span<const double>(&edp, 1),
-                    edp, hw, best);
+                    edp, hw, best, candidates);
         }
     }
     return result;

@@ -43,6 +43,13 @@ struct RandomSearchConfig
      * null when calling the searcher directly. Not owned.
      */
     SearchControl *control = nullptr;
+    /**
+     * Multi-objective axes. When a second axis is enabled
+     * (`pareto.active()`), the search also maintains the Pareto front
+     * over the enabled axes in `SearchResult::frontier`; otherwise
+     * the single-objective path runs bit-identically to before.
+     */
+    ParetoObjectives pareto;
 };
 
 /**
@@ -89,7 +96,9 @@ SearchResult randomMapperSearchImpl(const std::vector<Layer> &layers,
                                     int samples, uint64_t seed,
                                     int jobs,
                                     const LatencyScorer &scorer,
-                                    SearchControl *control);
+                                    SearchControl *control,
+                                    const ParetoObjectives &pareto =
+                                            {});
 
 } // namespace detail
 

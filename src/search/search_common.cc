@@ -33,11 +33,36 @@ void
 SearchResult::mergeOutcome(std::span<const double> samples,
                            double unit_best_edp,
                            const HardwareConfig &hw,
-                           const std::vector<Mapping> &mappings)
+                           const std::vector<Mapping> &mappings,
+                           std::span<const ParetoCandidate>
+                                   frontier_candidates)
 {
     double before = best_edp;
-    for (double edp : samples)
-        record(edp);
+    size_t ci = 0;
+    for (size_t si = 0; si < samples.size(); ++si) {
+        const size_t len_before = trace.size();
+        record(samples[si]);
+        const bool landed = trace.size() > len_before;
+        // Re-offer this sample's frontier candidate (if any) to the
+        // global front. A unit filters against its *local* frontier
+        // history, so a candidate here may still be dominated by a
+        // point another unit merged earlier — and by transitivity,
+        // every sample the unit filtered out is dominated globally
+        // too, which is what makes this stream identical to the
+        // serial single-threaded one.
+        while (ci < frontier_candidates.size() &&
+               frontier_candidates[ci].sample_offset == si) {
+            if (landed) {
+                ParetoPoint point = frontier_candidates[ci].point;
+                point.sample_index = trace.size() - 1;
+                if (frontier.consider(std::move(point)) &&
+                    control != nullptr)
+                    control->frontier(frontier.points().back(),
+                            frontier.size());
+            }
+            ++ci;
+        }
+    }
     if (best_edp == before)
         return; // no recorded improvement; keep the current design
     if (unit_best_edp < before && best_edp == unit_best_edp) {

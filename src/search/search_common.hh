@@ -22,11 +22,136 @@
 
 #include "arch/hardware_config.hh"
 #include "autodiff/var.hh"
+#include "core/objective.hh"
 #include "mapping/mapping.hh"
 #include "util/rng.hh"
 #include "workload/layer.hh"
 
 namespace dosa {
+
+/**
+ * One point of a multi-objective frontier: the enabled-axis metrics
+ * plus the concrete design behind them. Disabled axes carry 0 and do
+ * not participate in domination.
+ */
+struct ParetoPoint
+{
+    double edp = 0.0;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+    /** 0-based trace index of the sample that entered the front. */
+    size_t sample_index = 0;
+    HardwareConfig hw;
+    std::vector<Mapping> mappings;
+};
+
+/**
+ * A frontier-entering sample produced inside one work unit, keyed by
+ * its offset within the unit's sample span so the serial merge can
+ * assign the global trace index. Units filter against their local
+ * frontier history; `SearchResult::mergeOutcome` re-checks each
+ * candidate against the global front, which by domination
+ * transitivity reproduces the single-threaded event stream exactly.
+ */
+struct ParetoCandidate
+{
+    size_t sample_offset = 0;
+    ParetoPoint point;
+};
+
+/**
+ * Non-dominated set over the enabled axes, minimizing every axis.
+ * Points are kept in insertion order — entries only ever append, and
+ * strictly-dominated incumbents are erased order-preservingly — so
+ * for a fixed merge order the frontier (and its event stream) is
+ * byte-deterministic, serial == parallel under the `Rng::stream`
+ * contract.
+ *
+ * Domination is weak-vs-strict asymmetric on purpose: a candidate
+ * weakly dominated by an incumbent (<= on all enabled axes,
+ * including exact ties) is rejected, while an incumbent is pruned
+ * only when the entrant strictly dominates it (<= on all, < on at
+ * least one). Duplicates therefore never enter, and an entrant never
+ * erases a point it merely ties.
+ */
+class ParetoFront
+{
+  public:
+    /** Select the axes that participate in domination. */
+    void configure(const ParetoObjectives &axes) { axes_ = axes; }
+
+    const ParetoObjectives &axes() const { return axes_; }
+
+    /**
+     * Cheap entry pre-check: would a sample with these metrics enter?
+     * Matches `consider`'s accept test — callers use it to avoid
+     * copying a design's mappings for a dominated sample.
+     */
+    bool
+    wouldAccept(double edp, double area_mm2, double power_w) const
+    {
+        for (const ParetoPoint &p : points_)
+            if (weaklyDominates(p.edp, p.area_mm2, p.power_w, edp,
+                        area_mm2, power_w))
+                return false;
+        return true;
+    }
+
+    /**
+     * Offer a point: reject if weakly dominated by an incumbent,
+     * otherwise prune strictly-dominated incumbents and append.
+     * Returns true when the point entered (it is then
+     * `points().back()`).
+     */
+    bool
+    consider(ParetoPoint point)
+    {
+        if (!wouldAccept(point.edp, point.area_mm2, point.power_w))
+            return false;
+        std::erase_if(points_, [&](const ParetoPoint &p) {
+            return strictlyDominates(point.edp, point.area_mm2,
+                    point.power_w, p.edp, p.area_mm2, p.power_w);
+        });
+        points_.push_back(std::move(point));
+        return true;
+    }
+
+    /** Frontier points in insertion order. */
+    const std::vector<ParetoPoint> &points() const { return points_; }
+
+    size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+  private:
+    /** a <= b on every enabled axis. */
+    bool
+    weaklyDominates(double ae, double aa, double ap, double be,
+                    double ba, double bp) const
+    {
+        if (axes_.edp.enabled && ae > be)
+            return false;
+        if (axes_.area.enabled && aa > ba)
+            return false;
+        if (axes_.power.enabled && ap > bp)
+            return false;
+        return true;
+    }
+
+    /** a <= b on every enabled axis, < on at least one. */
+    bool
+    strictlyDominates(double ae, double aa, double ap, double be,
+                      double ba, double bp) const
+    {
+        if (!weaklyDominates(ae, aa, ap, be, ba, bp))
+            return false;
+        return (axes_.edp.enabled && ae < be) ||
+               (axes_.area.enabled && aa < ba) ||
+               (axes_.power.enabled && ap < bp);
+    }
+
+    ParetoObjectives axes_;
+    std::vector<ParetoPoint> points_;
+};
 
 /**
  * Cooperative run control shared between a search driver and the
@@ -64,6 +189,10 @@ class SearchControl
     using SampleFn = std::function<bool(size_t, double, double, bool)>;
     /** Searcher lifecycle callback ("starts", "descent", ...). */
     using PhaseFn = std::function<void(const char *)>;
+    /** Frontier-entry callback: (the point that just entered the
+     *  Pareto front, frontier size after insertion). */
+    using FrontierFn =
+            std::function<void(const ParetoPoint &, size_t)>;
 
     /** Control with no budget, no deadline and no callbacks. */
     SearchControl() = default;
@@ -156,6 +285,25 @@ class SearchControl
             on_phase_(name);
     }
 
+    /** Install the frontier-entry callback (multi-objective runs). */
+    void
+    setFrontierCallback(FrontierFn on_frontier)
+    {
+        on_frontier_ = std::move(on_frontier);
+    }
+
+    /**
+     * Announce a frontier entry; called by
+     * `SearchResult::mergeOutcome` from the serial merge path, right
+     * after the entering sample's `onRecord`.
+     */
+    void
+    frontier(const ParetoPoint &point, size_t front_size)
+    {
+        if (on_frontier_)
+            on_frontier_(point, front_size);
+    }
+
   private:
     std::atomic<bool> stop_{false};
     mutable std::atomic<bool> deadline_hit_{false};
@@ -165,6 +313,7 @@ class SearchControl
     std::chrono::steady_clock::time_point deadline_{};
     SampleFn on_sample_;
     PhaseFn on_phase_;
+    FrontierFn on_frontier_;
 };
 
 /** Outcome of a co-search run. */
@@ -175,6 +324,13 @@ struct SearchResult
     std::vector<Mapping> best_mappings;
     /** trace[i] = best EDP seen after i+1 samples. */
     std::vector<double> trace;
+    /**
+     * Non-dominated frontier over the enabled Pareto axes. Empty for
+     * single-objective runs (searchers only feed it candidates when
+     * `mode.pareto.active()`); its insertion order is deterministic —
+     * serial == parallel byte-identical, like the trace.
+     */
+    ParetoFront frontier;
     /**
      * Cooperative run control installed by the `src/api` driver
      * (null when a searcher runs standalone). Not owned. Every
@@ -200,10 +356,20 @@ struct SearchResult
      * installed design, the stale design is cleared rather than
      * reported. For full (unstopped) merges this is bitwise-
      * identical to the historical pre-record strict-< install.
+     *
+     * Multi-objective runs additionally pass the unit's
+     * frontier-entering samples (`frontier_candidates`, ordered by
+     * `sample_offset` within `samples`): each candidate whose sample
+     * landed in the trace is re-offered to the global `frontier`,
+     * and an accepted entry fires `SearchControl::frontier` right
+     * after the sample's own record. Candidates whose sample a hard
+     * stop dropped are dropped with it.
      */
     void mergeOutcome(std::span<const double> samples,
                       double unit_best_edp, const HardwareConfig &hw,
-                      const std::vector<Mapping> &mappings);
+                      const std::vector<Mapping> &mappings,
+                      std::span<const ParetoCandidate>
+                              frontier_candidates = {});
 
     /**
      * Pre-reserve trace capacity for a planned sample count (capped

@@ -90,6 +90,13 @@ class StreamObserver : public SearchObserver
             alive_ = false;
     }
 
+    void
+    onFrontier(const FrontierEvent &event) override
+    {
+        if (alive_ && !sink_.send(frontierFrame(id_, event)))
+            alive_ = false;
+    }
+
   private:
     FrameSink &sink_;
     const std::string &id_;

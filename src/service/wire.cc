@@ -391,6 +391,19 @@ improvementFrame(const std::string &id, const SampleEvent &event)
 }
 
 std::string
+frontierFrame(const std::string &id, const FrontierEvent &event)
+{
+    json::Value v = frameEnvelope("frontier", id);
+    v.set("index", json::Value::number(uint64_t(event.index)));
+    v.set("edp", edpValue(event.edp));
+    v.set("area_mm2", json::Value::number(event.area_mm2));
+    v.set("power_w", json::Value::number(event.power_w));
+    v.set("front_size",
+            json::Value::number(uint64_t(event.front_size)));
+    return v.dump();
+}
+
+std::string
 doneFrame(const std::string &id, const SearchReport &report)
 {
     json::Value v = frameEnvelope("done", id);
@@ -404,6 +417,18 @@ doneFrame(const std::string &id, const SearchReport &report)
     v.set("best_start_hw", hwToJson(report.best_start_hw));
     v.set("samples", json::Value::number(
             uint64_t(report.search.trace.size())));
+    json::Value front = json::Value::array();
+    for (const ParetoPoint &p : report.search.frontier.points()) {
+        json::Value point = json::Value::object();
+        point.set("index",
+                json::Value::number(uint64_t(p.sample_index)));
+        point.set("edp", edpValue(p.edp));
+        point.set("area_mm2", json::Value::number(p.area_mm2));
+        point.set("power_w", json::Value::number(p.power_w));
+        point.set("hw", hwToJson(p.hw));
+        front.push(std::move(point));
+    }
+    v.set("frontier", std::move(front));
     return v.dump();
 }
 
@@ -469,6 +494,17 @@ decodeFrame(std::string_view line, Frame &out, std::string &error)
         needEdp(r, "edp", out.sample.edp);
         needEdp(r, "best_edp", out.sample.best_edp);
         needBool(r, "improved", out.sample.improved);
+    } else if (event == "frontier") {
+        out.kind = Frame::Kind::Frontier;
+        uint64_t index = 0;
+        needUint(r, "index", index);
+        out.frontier.index = size_t(index);
+        needEdp(r, "edp", out.frontier.edp);
+        needDouble(r, "area_mm2", out.frontier.area_mm2);
+        needDouble(r, "power_w", out.frontier.power_w);
+        uint64_t front_size = 0;
+        needUint(r, "front_size", front_size);
+        out.frontier.front_size = size_t(front_size);
     } else if (event == "done") {
         out.kind = Frame::Kind::Done;
         needEdp(r, "best_edp", out.best_edp);
@@ -501,6 +537,32 @@ decodeFrame(std::string_view line, Frame &out, std::string &error)
                     return false;
         } else {
             return r.fail("missing \"best_mappings\"");
+        }
+        if (const json::Value *front = r.consume("frontier")) {
+            if (!front->isArray())
+                return r.fail("frontier: expected an array");
+            const auto &elems = front->elements();
+            out.pareto_front.resize(elems.size());
+            for (size_t i = 0; i < elems.size(); ++i) {
+                const std::string path = "frame.frontier[" +
+                        std::to_string(i) + "]";
+                json::ObjectReader p(elems[i], path, error);
+                Frame::FrontierPoint &pt = out.pareto_front[i];
+                needUint(p, "index", pt.index);
+                needEdp(p, "edp", pt.edp);
+                needDouble(p, "area_mm2", pt.area_mm2);
+                needDouble(p, "power_w", pt.power_w);
+                if (const json::Value *hw = p.consume("hw")) {
+                    if (!hwFromJson(*hw, path + ".hw", pt.hw, error))
+                        return false;
+                } else {
+                    return p.fail("missing \"hw\"");
+                }
+                if (!p.finish())
+                    return false;
+            }
+        } else {
+            return r.fail("missing \"frontier\"");
         }
     } else if (event == "error") {
         out.kind = Frame::Kind::Error;

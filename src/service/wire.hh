@@ -6,9 +6,12 @@
  * Clients send one *request* object per line
  * (`{"endpoint":"search","id":...,"spec":{...}}`, plus the inline
  * `stats` and `ping` endpoints); the service streams back *frames* —
- * `phase` / `sample` / `improvement` events mirroring the
- * `SearchObserver` callbacks in trace order, terminated by exactly
- * one `done`, `error`, `pong` or `stats` frame per request.
+ * `phase` / `sample` / `improvement` / `frontier` events mirroring
+ * the `SearchObserver` callbacks in trace order, terminated by
+ * exactly one `done`, `error`, `pong` or `stats` frame per request.
+ * `frontier` frames only appear on multi-objective runs
+ * (`spec.mode.pareto` enables a second axis); the terminal `done`
+ * frame then also carries the final front in insertion order.
  *
  * Every encoder produces canonical bytes (sorted keys, canonical
  * number tokens, no whitespace, no trailing newline — transports add
@@ -93,10 +96,21 @@ struct Frame
         Phase,       ///< searcher lifecycle ("setup", "descent", ...)
         Sample,      ///< one recorded sample, in trace order
         Improvement, ///< sample that strictly improved the best
+        Frontier,    ///< sample that entered the Pareto front
         Done,        ///< terminal: search finished, carries the result
         Error,       ///< terminal: typed failure (code + message)
         Pong,        ///< terminal reply to `ping`
         Stats,       ///< terminal reply to `stats`
+    };
+
+    /** One frontier point of the `done` frame's summary. */
+    struct FrontierPoint
+    {
+        uint64_t index = 0; ///< trace index of the entering sample
+        double edp = 0.0;
+        double area_mm2 = 0.0;
+        double power_w = 0.0;
+        HardwareConfig hw;
     };
 
     Kind kind = Kind::Error;
@@ -109,6 +123,9 @@ struct Frame
     // -- Sample / Improvement
     SampleEvent sample{};
 
+    // -- Frontier
+    FrontierEvent frontier{};
+
     // -- Done
     double best_edp = 0.0;
     double best_start_edp = 0.0;
@@ -117,6 +134,10 @@ struct Frame
     std::vector<Mapping> best_mappings;
     /** Recorded trace length (the paper's sample count axis). */
     uint64_t samples = 0;
+    /** Final Pareto front in insertion order (multi-objective runs;
+     *  empty otherwise). Mappings stay in-process — the wire carries
+     *  each point's metrics and hardware config. */
+    std::vector<FrontierPoint> pareto_front;
 
     // -- Error
     std::string code;
@@ -150,6 +171,8 @@ std::string sampleFrame(const std::string &id,
                         const SampleEvent &event);
 std::string improvementFrame(const std::string &id,
                              const SampleEvent &event);
+std::string frontierFrame(const std::string &id,
+                          const FrontierEvent &event);
 std::string doneFrame(const std::string &id,
                       const SearchReport &report);
 std::string errorFrame(const std::string &id, const std::string &code,

@@ -5,8 +5,10 @@
  */
 #include "util/json.hh"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -16,6 +18,93 @@ namespace {
 
 /** Nesting bound: hostile inputs cannot overflow the parse stack. */
 constexpr int kMaxDepth = 64;
+
+/**
+ * Decide whether an out-of-range numeric token overflows (|v| >
+ * DBL_MAX) or underflows (|v| < the smallest subnormal):
+ * `std::from_chars` reports both as `result_out_of_range` and leaves
+ * the output unmodified, so the call site needs the token's decimal
+ * exponent to reproduce strtod's ±inf / ±0 results. The two regimes
+ * are hundreds of decades apart, so the sign of the first significant
+ * digit's exponent discriminates exactly.
+ */
+bool
+tokenOverflows(std::string_view tok)
+{
+    size_t i = 0;
+    if (i < tok.size() && tok[i] == '-')
+        ++i;
+    // Decimal exponent of the first nonzero significand digit,
+    // relative to the decimal point ("d.ddd" form has exponent 0).
+    long long first_sig = 0;
+    bool seen_nonzero = false;
+    long long int_digits = 0;
+    for (; i < tok.size() && tok[i] >= '0' && tok[i] <= '9'; ++i) {
+        if (!seen_nonzero && tok[i] != '0') {
+            seen_nonzero = true;
+            first_sig = int_digits; // digits still to come before '.'
+        }
+        if (seen_nonzero)
+            ++int_digits;
+    }
+    if (seen_nonzero)
+        first_sig = int_digits - 1;
+    if (i < tok.size() && tok[i] == '.') {
+        ++i;
+        long long frac_pos = -1;
+        for (; i < tok.size() && tok[i] >= '0' && tok[i] <= '9';
+             ++i) {
+            if (!seen_nonzero) {
+                if (tok[i] != '0') {
+                    seen_nonzero = true;
+                    first_sig = frac_pos;
+                }
+                --frac_pos;
+            }
+        }
+    }
+    long long exp10 = 0;
+    if (i < tok.size() && (tok[i] == 'e' || tok[i] == 'E')) {
+        ++i;
+        bool neg = false;
+        if (i < tok.size() && (tok[i] == '+' || tok[i] == '-')) {
+            neg = tok[i] == '-';
+            ++i;
+        }
+        for (; i < tok.size() && tok[i] >= '0' && tok[i] <= '9';
+             ++i) {
+            if (exp10 < 1000000000)
+                exp10 = exp10 * 10 + (tok[i] - '0');
+        }
+        if (neg)
+            exp10 = -exp10;
+    }
+    return first_sig + exp10 >= 0;
+}
+
+/** Saturating double→int64 conversion (NaN maps to 0). */
+int64_t
+clampToInt64(double d)
+{
+    if (!(d == d))
+        return 0;
+    if (d >= 9223372036854775808.0) // 2^63
+        return std::numeric_limits<int64_t>::max();
+    if (d < -9223372036854775808.0)
+        return std::numeric_limits<int64_t>::min();
+    return static_cast<int64_t>(d);
+}
+
+/** Saturating double→uint64 conversion (negative and NaN map to 0). */
+uint64_t
+clampToUint64(double d)
+{
+    if (!(d == d) || d < 0.0)
+        return 0;
+    if (d >= 18446744073709551616.0) // 2^64
+        return std::numeric_limits<uint64_t>::max();
+    return static_cast<uint64_t>(d);
+}
 
 const char *
 kindName(Value::Kind k)
@@ -79,8 +168,12 @@ Value::number(double d)
     v.kind_ = Kind::Number;
     char buf[32];
     // 17 significant digits round-trip every finite IEEE double.
-    std::snprintf(buf, sizeof(buf), "%.17g", d);
-    v.num_ = buf;
+    // std::to_chars in general form is specified as printf "%.17g"
+    // in the "C" locale, so the canonical token bytes cannot vary
+    // with the host's LC_NUMERIC (snprintf's would).
+    auto res = std::to_chars(buf, buf + sizeof(buf), d,
+            std::chars_format::general, 17);
+    v.num_.assign(buf, res.ptr);
     return v;
 }
 
@@ -146,7 +239,22 @@ Value::asDouble() const
 {
     if (kind_ != Kind::Number)
         panic(std::string("json: asDouble on ") + kindName(kind_));
-    return std::strtod(num_.c_str(), nullptr);
+    // Locale-independent by construction: std::from_chars always
+    // parses as the "C" locale, where strtod honors LC_NUMERIC and
+    // would stop at '.' under a comma-decimal locale.
+    const char *begin = num_.data();
+    const char *end = begin + num_.size();
+    double d = 0.0;
+    auto res = std::from_chars(begin, end, d,
+            std::chars_format::general);
+    if (res.ec == std::errc::result_out_of_range) {
+        // Reproduce strtod: overflow -> ±inf, underflow -> ±0.
+        double mag = tokenOverflows(num_)
+                ? std::numeric_limits<double>::infinity()
+                : 0.0;
+        d = num_[0] == '-' ? -mag : mag;
+    }
+    return d;
 }
 
 int64_t
@@ -154,12 +262,20 @@ Value::asInt() const
 {
     if (kind_ != Kind::Number)
         panic(std::string("json: asInt on ") + kindName(kind_));
-    char *end = nullptr;
-    long long i = std::strtoll(num_.c_str(), &end, 10);
-    if (end != nullptr && *end == '\0')
-        return static_cast<int64_t>(i);
-    // Fractional/exponent token: go through the double reading.
-    return static_cast<int64_t>(std::strtod(num_.c_str(), nullptr));
+    // Integral tokens parse exactly — no round-trip through double,
+    // which silently corrupts magnitudes above 2^53.
+    const char *begin = num_.data();
+    const char *end = begin + num_.size();
+    int64_t i = 0;
+    auto res = std::from_chars(begin, end, i);
+    if (res.ec == std::errc() && res.ptr == end)
+        return i;
+    if (res.ec == std::errc::result_out_of_range && res.ptr == end)
+        return num_[0] == '-'
+                ? std::numeric_limits<int64_t>::min()
+                : std::numeric_limits<int64_t>::max();
+    // Fractional/exponent token: truncate the double reading.
+    return clampToInt64(asDouble());
 }
 
 uint64_t
@@ -167,11 +283,17 @@ Value::asUint() const
 {
     if (kind_ != Kind::Number)
         panic(std::string("json: asUint on ") + kindName(kind_));
-    char *end = nullptr;
-    unsigned long long u = std::strtoull(num_.c_str(), &end, 10);
-    if (end != nullptr && *end == '\0')
-        return static_cast<uint64_t>(u);
-    return static_cast<uint64_t>(std::strtod(num_.c_str(), nullptr));
+    const char *begin = num_.data();
+    const char *end = begin + num_.size();
+    uint64_t u = 0;
+    auto res = std::from_chars(begin, end, u);
+    if (res.ec == std::errc() && res.ptr == end)
+        return u;
+    if (res.ec == std::errc::result_out_of_range && res.ptr == end)
+        return std::numeric_limits<uint64_t>::max();
+    // Negative, fractional or exponent token: clamp the double
+    // reading (negatives saturate to 0 instead of wrapping).
+    return clampToUint64(asDouble());
 }
 
 const std::string &

@@ -11,9 +11,15 @@
  *   the service's byte-identical streaming contract is built on.
  * - *Exact numeric round-trips.* Numbers are stored as their token
  *   text: the parser keeps the lexeme it validated, and the typed
- *   factories emit canonical tokens (`%lld`/`%llu` for integers,
- *   `%.17g` for doubles, which round-trips every finite IEEE double).
- *   dump(parse(dump(v))) is therefore bitwise-stable.
+ *   factories emit canonical tokens (decimal digits for integers,
+ *   shortest-fixed-or-scientific at 17 significant digits for
+ *   doubles, which round-trips every finite IEEE double).
+ *   dump(parse(dump(v))) is therefore bitwise-stable. Both directions
+ *   go through `std::to_chars`/`std::from_chars`, so the bytes are
+ *   locale-independent — a host app calling `setlocale(LC_NUMERIC,
+ *   ...)` cannot perturb the canonical form, and integer tokens
+ *   never round-trip through a double (exact through the full
+ *   int64/uint64 range, not just 2^53).
  * - *Never crashes on hostile input.* `parse` returns false with a
  *   diagnostic for malformed text (depth-limited against deeply
  *   nested bombs); it is the one decoder the daemon exposes to the
@@ -72,11 +78,15 @@ class Value
     // -- Typed accessors (panic on kind mismatch).
 
     bool asBool() const;
-    /** Number as double (strtod of the stored token). */
+    /** Number as double (locale-independent parse of the token;
+     *  out-of-range magnitudes saturate to ±inf / ±0). */
     double asDouble() const;
-    /** Number as int64 (truncating when the token is fractional). */
+    /** Number as int64: exact for integral tokens over the full
+     *  range, saturating at the type bounds; fractional/exponent
+     *  tokens truncate through the double reading. */
     int64_t asInt() const;
-    /** Number as uint64 (full-range seeds round-trip through this). */
+    /** Number as uint64 (full-range seeds round-trip through this);
+     *  exact and saturating like asInt, negatives clamp to 0. */
     uint64_t asUint() const;
     const std::string &asString() const;
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -112,6 +113,108 @@ TEST(JsonValue, NumberTokensAreCanonicalAndExact)
         Value v = Value::number(d);
         EXPECT_EQ(v.asDouble(), d) << v.dump();
     }
+}
+
+Value
+parseNumber(const std::string &token)
+{
+    Value v;
+    std::string error;
+    EXPECT_TRUE(parse(token, v, error)) << token << ": " << error;
+    return v;
+}
+
+TEST(JsonValue, IntegerBoundariesDecodeExactly)
+{
+    // Integral tokens must decode without a double round-trip, which
+    // is lossy above 2^53 (2^53 + 1 reads back as 2^53).
+    EXPECT_EQ(parseNumber("9223372036854775807").asInt(),
+            std::numeric_limits<int64_t>::max());
+    EXPECT_EQ(parseNumber("-9223372036854775808").asInt(),
+            std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(parseNumber("18446744073709551615").asUint(),
+            std::numeric_limits<uint64_t>::max());
+    EXPECT_EQ(parseNumber("9007199254740991").asInt(),
+            9007199254740991); // 2^53 - 1
+    EXPECT_EQ(parseNumber("9007199254740993").asInt(),
+            9007199254740993); // 2^53 + 1: corrupted via strtod
+    EXPECT_EQ(parseNumber("-9007199254740993").asInt(),
+            -9007199254740993);
+    EXPECT_EQ(parseNumber("9007199254740993").asUint(),
+            9007199254740993ull);
+
+    // Factory tokens survive the full dump -> parse -> accessor loop.
+    for (int64_t i : {std::numeric_limits<int64_t>::min(),
+                 std::numeric_limits<int64_t>::max(),
+                 int64_t(9007199254740993)})
+        EXPECT_EQ(parseNumber(Value::number(i).dump()).asInt(), i);
+    EXPECT_EQ(parseNumber(
+                      Value::number(std::numeric_limits<uint64_t>::max())
+                              .dump())
+                      .asUint(),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(JsonValue, IntegerAccessorsSaturateOutOfRangeTokens)
+{
+    // Out-of-range integral tokens saturate instead of wrapping.
+    EXPECT_EQ(parseNumber("18446744073709551615").asInt(),
+            std::numeric_limits<int64_t>::max());
+    EXPECT_EQ(parseNumber("9223372036854775808").asInt(),
+            std::numeric_limits<int64_t>::max());
+    EXPECT_EQ(parseNumber("-9223372036854775809").asInt(),
+            std::numeric_limits<int64_t>::min());
+    EXPECT_EQ(parseNumber("18446744073709551616").asUint(),
+            std::numeric_limits<uint64_t>::max());
+    // Negative tokens clamp to 0 through asUint (no wraparound).
+    EXPECT_EQ(parseNumber("-1").asUint(), 0u);
+    EXPECT_EQ(parseNumber("-9223372036854775808").asUint(), 0u);
+    // Fractional/exponent tokens fall back to the truncated double
+    // reading, saturating at the integer limits.
+    EXPECT_EQ(parseNumber("3.9").asInt(), 3);
+    EXPECT_EQ(parseNumber("-3.9").asInt(), -3);
+    EXPECT_EQ(parseNumber("-2.5").asUint(), 0u);
+    EXPECT_EQ(parseNumber("1e20").asInt(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(JsonLocale, CommaDecimalLocaleCannotPerturbTheCodec)
+{
+    // std::strtod/printf honor LC_NUMERIC; the canonical codec must
+    // not, or a host app calling setlocale breaks byte-stability.
+    struct ScopedLocale
+    {
+        std::string saved;
+        ScopedLocale() : saved(std::setlocale(LC_NUMERIC, nullptr)) {}
+        ~ScopedLocale() { std::setlocale(LC_NUMERIC, saved.c_str()); }
+    } scope;
+    const char *applied = nullptr;
+    for (const char *name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                 "fr_FR", "nl_NL.UTF-8", "es_ES.UTF-8"})
+        if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+            applied = name;
+            break;
+        }
+    if (applied == nullptr ||
+            std::localeconv()->decimal_point[0] != ',')
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    for (double d : {0.1, 2.5, -1.0 / 3.0, 6.02214076e23, -5e-324,
+                 std::numeric_limits<double>::max()}) {
+        Value v = Value::number(d);
+        const std::string token = v.dump();
+        EXPECT_EQ(token.find(','), std::string::npos) << token;
+        Value parsed;
+        std::string error;
+        ASSERT_TRUE(parse(token, parsed, error)) << token << ": "
+                                                 << error;
+        EXPECT_EQ(parsed.asDouble(), d) << token;
+        // serialize -> parse -> serialize is byte-stable under the
+        // comma-decimal locale.
+        EXPECT_EQ(parsed.dump(), token);
+    }
+    EXPECT_EQ(parseNumber("9007199254740993").asInt(),
+            9007199254740993);
 }
 
 TEST(JsonValue, NonFiniteNumberPanics)

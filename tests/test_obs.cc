@@ -711,6 +711,43 @@ TEST(Trajectory, ContextMismatchMeansNotComparable)
     EXPECT_TRUE(obs::checkTrajectory(scan, 0.25).ok);
 }
 
+TEST(Trajectory, NoBaselineIsExplicitAndPasses)
+{
+    // Empty prior (fresh BENCH file, or a single first run): the
+    // check passes and says why nothing was compared, so the
+    // check_trajectory gate can exit 0 with an explicit note
+    // instead of silently falling through.
+    obs::TrajectoryCheck empty =
+            obs::checkTrajectory({}, 0.25);
+    EXPECT_TRUE(empty.ok);
+    EXPECT_FALSE(empty.compared);
+    EXPECT_EQ(empty.detail,
+            "no baseline: fewer than two lines; nothing to compare\n");
+
+    auto single = parseLines(
+            "{\"bench\":\"b\",\"mode\":\"quick\",\"unix_time\":1,"
+            "\"wall_s\":1.0}\n");
+    obs::TrajectoryCheck first = obs::checkTrajectory(single, 0.25);
+    EXPECT_TRUE(first.ok);
+    EXPECT_FALSE(first.compared);
+    EXPECT_EQ(first.detail,
+            "no baseline: fewer than two lines; nothing to compare\n");
+
+    // Context change (same bench, new mode): prior lines exist but
+    // none is comparable — same explicit no-baseline outcome.
+    auto mismatch = parseLines(
+            "{\"bench\":\"b\",\"mode\":\"full\",\"unix_time\":1,"
+            "\"wall_s\":1.0}\n"
+            "{\"bench\":\"b\",\"mode\":\"quick\",\"unix_time\":2,"
+            "\"wall_s\":9.0}\n");
+    obs::TrajectoryCheck check = obs::checkTrajectory(mismatch, 0.25);
+    EXPECT_TRUE(check.ok);
+    EXPECT_FALSE(check.compared);
+    EXPECT_EQ(check.detail,
+            "no baseline: no prior line with a matching context; "
+            "nothing to compare\n");
+}
+
 TEST(Trajectory, ParserRejectsMalformedLines)
 {
     std::vector<json::Value> lines;

@@ -172,6 +172,12 @@ class FrameRecorder : public SearchObserver
         frames.push_back(service::improvementFrame(id_, event));
     }
 
+    void
+    onFrontier(const FrontierEvent &event) override
+    {
+        frames.push_back(service::frontierFrame(id_, event));
+    }
+
     std::vector<std::string> frames;
 
   private:
@@ -296,6 +302,19 @@ randomSpec(Rng &rng)
     for (int i = 0; i < weights; ++i)
         spec.mode.layer_weights.push_back(
                 rng.uniformReal(1e-6, 10.0));
+    // Multi-objective mode fields, including combinations validation
+    // would reject — the codec must round-trip them regardless.
+    spec.mode.pareto.edp.enabled = rng.bernoulli(0.8);
+    spec.mode.pareto.area.enabled = rng.bernoulli(0.5);
+    spec.mode.pareto.power.enabled = rng.bernoulli(0.5);
+    for (ParetoAxis *axis : {&spec.mode.pareto.edp,
+                 &spec.mode.pareto.area, &spec.mode.pareto.power})
+        if (rng.bernoulli(0.6)) {
+            double exotic[] = {rng.uniformReal(1e-6, 10.0),
+                    rng.uniformReal(-1e300, 1e300), 4.9e-324,
+                    1.0 / 3.0};
+            axis->weight = exotic[rng.uniformInt(0, 3)];
+        }
     const Searcher *searcher = Search::find(spec.algorithm);
     for (std::string_view key : searcher->optionKeys())
         if (rng.bernoulli(0.6)) {
@@ -499,6 +518,17 @@ TEST(Wire, FramesRoundTrip)
     EXPECT_EQ(f.kind, Frame::Kind::Improvement);
     EXPECT_TRUE(std::isinf(f.sample.edp));
 
+    FrontierEvent front_ev{17, 2.5e-7, 3.75, 0.5, 4};
+    ASSERT_TRUE(service::decodeFrame(
+            service::frontierFrame("a", front_ev), f, error))
+            << error;
+    EXPECT_EQ(f.kind, Frame::Kind::Frontier);
+    EXPECT_EQ(f.frontier.index, 17u);
+    EXPECT_EQ(f.frontier.edp, 2.5e-7);
+    EXPECT_EQ(f.frontier.area_mm2, 3.75);
+    EXPECT_EQ(f.frontier.power_w, 0.5);
+    EXPECT_EQ(f.frontier.front_size, 4u);
+
     SearchReport report;
     report.search.best_edp = 3.25e-6;
     report.search.best_hw = HardwareConfig{32, 64, 256};
@@ -506,6 +536,19 @@ TEST(Wire, FramesRoundTrip)
     report.search.trace = {5.0, 4.0, 3.25e-6};
     report.best_start_edp = 7.5;
     report.best_start_hw = HardwareConfig{16, 32, 128};
+    // A multi-objective run's final front rides the done frame
+    // (metrics and hardware; mappings stay in-process).
+    ParetoObjectives axes;
+    axes.area.enabled = true;
+    axes.power.enabled = true;
+    report.search.frontier.configure(axes);
+    ParetoPoint point;
+    point.edp = 3.25e-6;
+    point.area_mm2 = 12.5;
+    point.power_w = 0.75;
+    point.sample_index = 2;
+    point.hw = HardwareConfig{32, 64, 256};
+    ASSERT_TRUE(report.search.frontier.consider(point));
     ASSERT_TRUE(service::decodeFrame(
             service::doneFrame("a", report), f, error))
             << error;
@@ -517,6 +560,12 @@ TEST(Wire, FramesRoundTrip)
     EXPECT_EQ(f.samples, 3u);
     ASSERT_EQ(f.best_mappings.size(), 1u);
     EXPECT_EQ(f.best_mappings[0], Mapping{});
+    ASSERT_EQ(f.pareto_front.size(), 1u);
+    EXPECT_EQ(f.pareto_front[0].index, 2u);
+    EXPECT_EQ(f.pareto_front[0].edp, 3.25e-6);
+    EXPECT_EQ(f.pareto_front[0].area_mm2, 12.5);
+    EXPECT_EQ(f.pareto_front[0].power_w, 0.75);
+    EXPECT_EQ(f.pareto_front[0].hw, (HardwareConfig{32, 64, 256}));
 
     ASSERT_TRUE(service::decodeFrame(
             service::errorFrame("a", service::errc::queue_full,
@@ -677,6 +726,56 @@ TEST(Service, StreamsAreByteIdenticalToDirectRunsAndGoldens)
         EXPECT_EQ(done.best_hw.pe_dim, g.pe_dim) << names[i];
         EXPECT_EQ(done.best_hw.accum_kib, g.accum_kib) << names[i];
         EXPECT_EQ(done.best_hw.spad_kib, g.spad_kib) << names[i];
+    }
+}
+
+TEST(Service, MultiObjectiveStreamsMatchDirectRunsForAllSearchers)
+{
+    // The acceptance bar of the Pareto mode: with area and power
+    // enabled, the service stream — frontier frames interleaved in
+    // trace order plus the final front on the done frame — is
+    // frame-for-frame identical to a direct runSearch for all four
+    // searchers.
+    const char *names[] = {"dosa", "random", "mapper", "bayesopt"};
+    std::vector<SearchSpec> specs = goldenSpecs();
+    for (SearchSpec &spec : specs) {
+        spec.mode.pareto.area.enabled = true;
+        spec.mode.pareto.power.enabled = true;
+    }
+
+    SearchService svc;
+    ServiceBus bus(svc);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const std::string id = std::string("pareto-") + names[i];
+        std::vector<std::string> expected =
+                expectedStream(id, specs[i]);
+
+        ServiceBus::Client client = bus.connect();
+        client.send(service::encodeSearchRequest(id, specs[i]));
+        std::vector<std::string> streamed = collectStream(client);
+
+        ASSERT_EQ(streamed.size(), expected.size()) << names[i];
+        for (size_t j = 0; j < expected.size(); ++j)
+            EXPECT_EQ(streamed[j], expected[j])
+                    << names[i] << " frame " << j;
+
+        // The stream really exercised the new frame kind, and the
+        // done frame carries a non-empty decoded front.
+        size_t frontier_frames = 0;
+        for (const std::string &line : streamed) {
+            Frame f;
+            std::string error;
+            ASSERT_TRUE(service::decodeFrame(line, f, error))
+                    << error;
+            if (f.kind == Frame::Kind::Frontier)
+                ++frontier_frames;
+        }
+        EXPECT_GT(frontier_frames, 0u) << names[i];
+        Frame done = terminalFrame(streamed);
+        ASSERT_EQ(done.kind, Frame::Kind::Done) << names[i];
+        EXPECT_FALSE(done.pareto_front.empty()) << names[i];
+        EXPECT_GE(frontier_frames, done.pareto_front.size())
+                << names[i];
     }
 }
 
