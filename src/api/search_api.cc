@@ -16,6 +16,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
+#include "util/thread_annotations.hh"
 #include "workload/workload_registry.hh"
 
 namespace dosa {
@@ -61,19 +62,23 @@ class PhaseSpanTracker
     uint64_t start_ns_ = 0;
 };
 
-std::vector<const Searcher *> &
-registryStorage()
+/**
+ * The searcher registry: entries plus the mutex that guards them,
+ * bundled so the lock relationship is visible to the thread-safety
+ * analysis. Registration order is deterministic; the mutex guards
+ * only against concurrent registration/lookup races.
+ */
+struct Registry
 {
-    static std::vector<const Searcher *> registry;
-    return registry;
-}
+    util::Mutex mtx;
+    std::vector<const Searcher *> entries GUARDED_BY(mtx);
+};
 
-/** Registration order is deterministic; guard only against races. */
-std::mutex &
-registryMutex()
+Registry &
+registry()
 {
-    static std::mutex mtx;
-    return mtx;
+    static Registry r;
+    return r;
 }
 
 void
@@ -164,8 +169,9 @@ detail::appendSearcher(const Searcher *searcher)
     if (searcher == nullptr || searcher->name() == nullptr ||
         searcher->name()[0] == '\0')
         panic("Search::registerSearcher: null searcher or empty name");
-    std::lock_guard<std::mutex> lock(registryMutex());
-    registryStorage().push_back(searcher);
+    Registry &r = registry();
+    util::MutexLock lock(r.mtx);
+    r.entries.push_back(searcher);
 }
 
 void
@@ -182,10 +188,10 @@ const Searcher *
 Search::find(std::string_view name)
 {
     ensureBuiltins();
-    std::lock_guard<std::mutex> lock(registryMutex());
-    const std::vector<const Searcher *> &registry = registryStorage();
+    Registry &r = registry();
+    util::MutexLock lock(r.mtx);
     // Latest registration wins, so tests/backends can shadow a name.
-    for (auto it = registry.rbegin(); it != registry.rend(); ++it)
+    for (auto it = r.entries.rbegin(); it != r.entries.rend(); ++it)
         if (name == (*it)->name())
             return *it;
     return nullptr;
@@ -195,9 +201,10 @@ std::vector<std::string>
 Search::algorithms()
 {
     ensureBuiltins();
-    std::lock_guard<std::mutex> lock(registryMutex());
+    Registry &r = registry();
+    util::MutexLock lock(r.mtx);
     std::vector<std::string> names;
-    for (const Searcher *searcher : registryStorage()) {
+    for (const Searcher *searcher : r.entries) {
         std::string name = searcher->name();
         if (std::find(names.begin(), names.end(), name) == names.end())
             names.push_back(std::move(name));

@@ -63,7 +63,7 @@ SearchReport runSearch(const SearchSpec &spec,
  * long-running caller (the search service) runs on untrusted specs
  * before dispatching, so a bad request cannot take the process down.
  */
-bool validateSpec(const SearchSpec &spec, std::string &error);
+[[nodiscard]] bool validateSpec(const SearchSpec &spec, std::string &error);
 
 } // namespace dosa
 

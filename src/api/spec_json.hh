@@ -57,11 +57,11 @@ std::string specToJson(const SearchSpec &spec);
  * (search_api.hh) for the semantic checks a decoded spec still needs
  * before running.
  */
-bool specFromJsonValue(const json::Value &value, SearchSpec &out,
+[[nodiscard]] bool specFromJsonValue(const json::Value &value, SearchSpec &out,
                        std::string &error);
 
 /** Parse `text` then decode; false + diagnostic on either failure. */
-bool specFromJson(std::string_view text, SearchSpec &out,
+[[nodiscard]] bool specFromJson(std::string_view text, SearchSpec &out,
                   std::string &error);
 
 /**

@@ -83,7 +83,7 @@ EvalCache::eval(const Layer &layer, const Mapping &mapping,
     Shard &shard = shards_[h & (kNumShards - 1)];
 
     {
-        std::lock_guard<std::mutex> lock(shard.mtx);
+        util::MutexLock lock(shard.mtx);
         auto it = shard.map.find(key);
         if (it != shard.map.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
@@ -96,7 +96,7 @@ EvalCache::eval(const Layer &layer, const Mapping &mapping,
     misses_.fetch_add(1, std::memory_order_relaxed);
     LayerEval ev = computeEval(layer, mapping, hw);
 
-    std::lock_guard<std::mutex> lock(shard.mtx);
+    util::MutexLock lock(shard.mtx);
     if (shard.map.size() >= kMaxEntriesPerShard) {
         shard.map.clear();
         evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -109,7 +109,7 @@ void
 EvalCache::clear()
 {
     for (Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mtx);
+        util::MutexLock lock(shard.mtx);
         shard.map.clear();
     }
 }
@@ -122,8 +122,7 @@ EvalCache::stats() const
     s.misses = misses_.load();
     s.evictions = evictions_.load();
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(
-                const_cast<Shard &>(shard).mtx);
+        util::MutexLock lock(shard.mtx);
         s.entries += shard.map.size();
     }
     return s;

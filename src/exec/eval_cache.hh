@@ -23,12 +23,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "arch/hardware_config.hh"
 #include "mapping/mapping.hh"
 #include "stats/stats.hh"
+#include "util/thread_annotations.hh"
 #include "workload/layer.hh"
 
 namespace dosa {
@@ -101,8 +101,9 @@ class EvalCache
 
     struct Shard
     {
-        std::mutex mtx;
-        std::unordered_map<Key, LayerEval, KeyHash> map;
+        /** mutable: `stats()` is const but must lock each shard. */
+        mutable util::Mutex mtx;
+        std::unordered_map<Key, LayerEval, KeyHash> map GUARDED_BY(mtx);
     };
 
     static Key makeKey(const Layer &layer, const Mapping &mapping,

@@ -39,8 +39,8 @@ struct ThreadPool::Job
     /** Indices claimed and finished (ran or skipped after an error). */
     std::atomic<size_t> processed{0};
     std::atomic<bool> has_error{false};
-    std::mutex err_mtx;
-    std::exception_ptr error;
+    util::Mutex err_mtx;
+    std::exception_ptr error GUARDED_BY(err_mtx);
 };
 
 ThreadPool::ThreadPool(int threads)
@@ -54,7 +54,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        util::MutexLock lock(mtx_);
         stop_ = true;
     }
     cv_job_.notify_all();
@@ -81,7 +81,7 @@ ThreadPool::runJob(Job &job)
             try {
                 (*job.fn)(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(job.err_mtx);
+                util::MutexLock lock(job.err_mtx);
                 if (!job.error)
                     job.error = std::current_exception();
                 job.has_error.store(true, std::memory_order_relaxed);
@@ -89,7 +89,7 @@ ThreadPool::runJob(Job &job)
         }
         if (job.processed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             job.n) {
-            std::lock_guard<std::mutex> lock(mtx_);
+            util::MutexLock lock(mtx_);
             cv_done_.notify_all();
         }
     }
@@ -102,8 +102,8 @@ ThreadPool::workerLoop()
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(mtx_);
-            cv_job_.wait(lock, [&] {
+            util::MutexLock lock(mtx_);
+            lock.wait(cv_job_, [&]() REQUIRES(mtx_) {
                 return stop_ || generation_ != seen;
             });
             if (stop_)
@@ -130,13 +130,13 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
         return;
     }
 
-    std::lock_guard<std::mutex> submit(submit_mtx_);
+    util::MutexLock submit(submit_mtx_);
     pm.inflight.add(static_cast<int64_t>(n));
     auto job = std::make_shared<Job>();
     job->n = n;
     job->fn = &fn;
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        util::MutexLock lock(mtx_);
         job_ = job;
         ++generation_;
     }
@@ -145,8 +145,8 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     runJob(*job);
 
     {
-        std::unique_lock<std::mutex> lock(mtx_);
-        cv_done_.wait(lock, [&] {
+        util::MutexLock lock(mtx_);
+        lock.wait(cv_done_, [&] {
             return job->processed.load(std::memory_order_acquire) ==
                    job->n;
         });
@@ -155,8 +155,15 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
     pm.inflight.add(-static_cast<int64_t>(n));
     // Stragglers may still hold their shared_ptr copy, but every index
     // has finished: only the claim counter is touched after this point.
-    if (job->error)
-        std::rethrow_exception(job->error);
+    // The error slot is guarded by err_mtx; the join above already
+    // ordered every writer before us, so the lock is uncontended.
+    std::exception_ptr error;
+    {
+        util::MutexLock lock(job->err_mtx);
+        error = job->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace dosa

@@ -20,9 +20,10 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace dosa {
 
@@ -82,14 +83,14 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::mutex mtx_;
+    util::Mutex mtx_;
     std::condition_variable cv_job_;
     std::condition_variable cv_done_;
     /** Serializes concurrent parallelFor calls. */
-    std::mutex submit_mtx_;
-    std::shared_ptr<Job> job_;
-    uint64_t generation_ = 0;
-    bool stop_ = false;
+    util::Mutex submit_mtx_;
+    std::shared_ptr<Job> job_ GUARDED_BY(mtx_);
+    uint64_t generation_ GUARDED_BY(mtx_) = 0;
+    bool stop_ GUARDED_BY(mtx_) = false;
 };
 
 } // namespace dosa

@@ -240,7 +240,7 @@ MetricsRegistry::Instrument &
 MetricsRegistry::instrument(std::string_view name)
 {
     Shard &shard = shardFor(name);
-    std::lock_guard<std::mutex> lock(shard.mtx);
+    util::MutexLock lock(shard.mtx);
     return shard.map[std::string(name)];
 }
 
@@ -248,7 +248,7 @@ Counter &
 MetricsRegistry::counter(std::string_view name)
 {
     Shard &shard = shardFor(name);
-    std::lock_guard<std::mutex> lock(shard.mtx);
+    util::MutexLock lock(shard.mtx);
     Instrument &in = shard.map[std::string(name)];
     if (!in.counter)
         in.counter.reset(new Counter(&enabled_));
@@ -259,7 +259,7 @@ Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
     Shard &shard = shardFor(name);
-    std::lock_guard<std::mutex> lock(shard.mtx);
+    util::MutexLock lock(shard.mtx);
     Instrument &in = shard.map[std::string(name)];
     if (!in.gauge)
         in.gauge.reset(new Gauge(&enabled_));
@@ -270,7 +270,7 @@ Histogram &
 MetricsRegistry::histogram(std::string_view name)
 {
     Shard &shard = shardFor(name);
-    std::lock_guard<std::mutex> lock(shard.mtx);
+    util::MutexLock lock(shard.mtx);
     Instrument &in = shard.map[std::string(name)];
     if (!in.histogram)
         in.histogram.reset(new Histogram(&enabled_));
@@ -282,7 +282,7 @@ MetricsRegistry::registerCollector(Collector fn)
 {
     if (!fn)
         panic("MetricsRegistry::registerCollector: null collector");
-    std::lock_guard<std::mutex> lock(collectors_mtx_);
+    util::MutexLock lock(collectors_mtx_);
     collectors_.push_back(std::move(fn));
 }
 
@@ -291,7 +291,7 @@ MetricsRegistry::snapshot() const
 {
     MetricsSnapshot snap;
     for (const Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mtx);
+        util::MutexLock lock(shard.mtx);
         for (const auto &[name, in] : shard.map) {
             if (in.counter)
                 snap.counters[name] = in.counter->value();
@@ -324,7 +324,7 @@ MetricsRegistry::snapshot() const
     }
     std::vector<Collector> collectors;
     {
-        std::lock_guard<std::mutex> lock(collectors_mtx_);
+        util::MutexLock lock(collectors_mtx_);
         collectors = collectors_;
     }
     for (const Collector &fn : collectors)
@@ -336,7 +336,7 @@ void
 MetricsRegistry::reset()
 {
     for (Shard &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard.mtx);
+        util::MutexLock lock(shard.mtx);
         for (auto &[name, in] : shard.map) {
             if (in.counter)
                 in.counter->v_.store(0, std::memory_order_relaxed);

@@ -26,6 +26,42 @@
  *   `util/json` (sorted keys, canonical number tokens), so the same
  *   state always produces the same bytes — the property the service
  *   `stats` frame and the bench trajectory lines are built on.
+ *
+ * ### Memory-order contract
+ *
+ * Every instrument atomic — counter/gauge values, histogram
+ * count/sum/min/max/buckets, and the `enabled_` gate — is accessed
+ * with `memory_order_relaxed`, deliberately. The audit behind that:
+ *
+ * - *Per-cell exactness needs no ordering.* Increments are atomic
+ *   RMW ops, so no update is ever lost; relaxed only permits
+ *   *reordering between* cells, never torn counts within one.
+ * - *No reader depends on cross-cell invariants.* A snapshot may
+ *   observe a histogram whose `count` has advanced past the `sum`
+ *   it pairs with (or counters from two subsystems at slightly
+ *   different moments); consumers treat every value as an
+ *   independent monotone reading, so no acquire/release edges are
+ *   required. Anything that needs a consistent *pair* must own a
+ *   lock (the service keeps its exact `EndpointStats` under the
+ *   service mutex for exactly this reason).
+ * - *Instruments never gate computation* (the invisibility
+ *   contract), so metric reads never need to synchronize-with the
+ *   writes they observe — stale-by-a-few-events is always fine.
+ * - *Publication is the mutex's job.* The instrument objects
+ *   themselves are created and their addresses published under the
+ *   shard mutex; the happens-before edge a thread needs before
+ *   first touching an atomic comes from that lock (and, for cached
+ *   references, from the caller's own synchronization), never from
+ *   the instrument ops.
+ * - *`enabled_` is advisory.* An `add` racing `setEnabled` may or
+ *   may not land; the flag is a test/bench seam, not a fence. Code
+ *   must never infer "no more writes" from reading it — disable,
+ *   then synchronize by other means (join/lock) before asserting
+ *   quiescence.
+ *
+ * Strengthen an op past relaxed only with a comment naming the
+ * invariant that needs it; the obs golden tests pin byte-stable
+ * snapshots, not orderings.
  */
 
 #ifndef DOSA_OBS_METRICS_HH
@@ -37,12 +73,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/json.hh"
+#include "util/thread_annotations.hh"
 
 namespace dosa::obs {
 
@@ -184,7 +220,7 @@ struct MetricsSnapshot
      * Strict inverse of toJson. False plus a diagnostic (prefixed
      * with `path`) on any malformed value; never crashes.
      */
-    static bool fromJson(const json::Value &value,
+    [[nodiscard]] static bool fromJson(const json::Value &value,
                          const std::string &path, MetricsSnapshot &out,
                          std::string &error);
 };
@@ -254,8 +290,9 @@ class MetricsRegistry
 
     struct Shard
     {
-        mutable std::mutex mtx;
-        std::map<std::string, Instrument> map;
+        /** mutable: `snapshot()` is const but locks each shard. */
+        mutable util::Mutex mtx;
+        std::map<std::string, Instrument> map GUARDED_BY(mtx);
     };
 
     Shard &shardFor(std::string_view name);
@@ -263,8 +300,8 @@ class MetricsRegistry
 
     std::array<Shard, kNumShards> shards_;
     std::atomic<bool> enabled_{true};
-    mutable std::mutex collectors_mtx_;
-    std::vector<Collector> collectors_;
+    mutable util::Mutex collectors_mtx_;
+    std::vector<Collector> collectors_ GUARDED_BY(collectors_mtx_);
 };
 
 /** The process-wide registry every subsystem reports into. */

@@ -43,7 +43,7 @@ std::atomic<uint64_t> g_generation{0};
 void
 Tracer::enable()
 {
-    std::lock_guard<std::mutex> lock(mtx_);
+    util::MutexLock lock(mtx_);
     if (enabled_.load(std::memory_order_relaxed))
         return;
     rings_.clear();
@@ -71,7 +71,7 @@ Tracer::disable()
 void
 Tracer::setCapacity(size_t events)
 {
-    std::lock_guard<std::mutex> lock(mtx_);
+    util::MutexLock lock(mtx_);
     capacity_ = std::max<size_t>(events, 1);
 }
 
@@ -102,7 +102,14 @@ Tracer::threadRing()
         !t_handle.ring) {
         auto ring = std::make_shared<Ring>();
         {
-            std::lock_guard<std::mutex> lock(mtx_);
+            util::MutexLock lock(mtx_);
+            // The fresh ring's own lock is uncontended (nothing else
+            // can reach it before rings_.push_back publishes it), but
+            // its storage and tid are ring-guarded state: initialize
+            // them under the ring lock so the annotation — and the
+            // happens-before edge dump threads rely on — is explicit
+            // rather than implied by publication order.
+            util::MutexLock ring_lock(ring->mtx);
             ring->events.resize(capacity_);
             ring->tid = next_tid_++;
             rings_.push_back(ring);
@@ -118,7 +125,7 @@ void
 Tracer::push(const Event &ev)
 {
     Ring &ring = threadRing();
-    std::lock_guard<std::mutex> lock(ring.mtx);
+    util::MutexLock lock(ring.mtx);
     ring.events[ring.next] = ev;
     ring.next = (ring.next + 1) % ring.events.size();
     ring.recorded++;
@@ -163,11 +170,11 @@ Tracer::eventCount() const
     size_t total = 0;
     std::vector<std::shared_ptr<Ring>> rings;
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        util::MutexLock lock(mtx_);
         rings = rings_;
     }
     for (const auto &ring : rings) {
-        std::lock_guard<std::mutex> lock(ring->mtx);
+        util::MutexLock lock(ring->mtx);
         total += std::min<uint64_t>(ring->recorded, ring->events.size());
     }
     return total;
@@ -179,11 +186,11 @@ Tracer::droppedCount() const
     uint64_t dropped = 0;
     std::vector<std::shared_ptr<Ring>> rings;
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        util::MutexLock lock(mtx_);
         rings = rings_;
     }
     for (const auto &ring : rings) {
-        std::lock_guard<std::mutex> lock(ring->mtx);
+        util::MutexLock lock(ring->mtx);
         uint64_t cap = ring->events.size();
         if (ring->recorded > cap)
             dropped += ring->recorded - cap;
@@ -202,11 +209,11 @@ Tracer::toJson() const
     std::vector<Tagged> all;
     std::vector<std::shared_ptr<Ring>> rings;
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        util::MutexLock lock(mtx_);
         rings = rings_;
     }
     for (const auto &ring : rings) {
-        std::lock_guard<std::mutex> lock(ring->mtx);
+        util::MutexLock lock(ring->mtx);
         size_t cap = ring->events.size();
         size_t n = static_cast<size_t>(
             std::min<uint64_t>(ring->recorded, cap));

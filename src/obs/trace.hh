@@ -32,11 +32,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.hh"
+#include "util/thread_annotations.hh"
 
 namespace dosa::obs {
 
@@ -113,7 +113,8 @@ class Tracer
      * Write `toJson().dump()` to `path`. False + `error` on I/O
      * failure.
      */
-    bool writeFile(const std::string &path, std::string &error) const;
+    [[nodiscard]] bool writeFile(const std::string &path,
+                                 std::string &error) const;
 
   private:
     /** One recorded event; "X" (complete) or "i" (instant). */
@@ -131,20 +132,23 @@ class Tracer
     /** A thread's private ring; mtx is uncontended except in dumps. */
     struct Ring
     {
-        std::mutex mtx;
-        std::vector<Event> events; ///< capacity fixed at registration
-        size_t next = 0;           ///< overwrite cursor once full
-        uint64_t recorded = 0;     ///< total events ever recorded
-        uint64_t tid = 0;          ///< stable small id for the JSON
+        util::Mutex mtx;
+        /** Event storage; capacity fixed at registration. */
+        std::vector<Event> events GUARDED_BY(mtx);
+        size_t next GUARDED_BY(mtx) = 0;       ///< overwrite cursor
+        uint64_t recorded GUARDED_BY(mtx) = 0; ///< events ever recorded
+        /** Stable small id for the JSON; written once at registration
+         *  (under the ring lock, pre-publication) then immutable. */
+        uint64_t tid GUARDED_BY(mtx) = 0;
     };
 
     Ring &threadRing();
     void push(const Event &ev);
 
-    mutable std::mutex mtx_; ///< guards rings_/capacity_/tids
-    std::vector<std::shared_ptr<Ring>> rings_;
-    size_t capacity_ = kDefaultCapacity;
-    uint64_t next_tid_ = 1;
+    mutable util::Mutex mtx_; ///< guards rings_/capacity_/tids
+    std::vector<std::shared_ptr<Ring>> rings_ GUARDED_BY(mtx_);
+    size_t capacity_ GUARDED_BY(mtx_) = kDefaultCapacity;
+    uint64_t next_tid_ GUARDED_BY(mtx_) = 1;
     /** Stamped by enable() from a process-unique counter, so threads
      *  re-register their rings (and never match a stale handle onto a
      *  different Tracer instance at a recycled address). */

@@ -211,6 +211,11 @@ class SearchControl
     {
         if (deadline_s > 0.0) {
             has_deadline_ = true;
+            // The deadline budget is the one sanctioned clock seam
+            // in the search layer: it gates *when* a search stops,
+            // never *what* it computes, and deadline-limited runs
+            // are documented as nondeterministic.
+            // LINT-ALLOW(wall-clock): deadline seam (see above)
             deadline_ = std::chrono::steady_clock::now() +
                     std::chrono::duration_cast<
                             std::chrono::steady_clock::duration>(
@@ -233,6 +238,8 @@ class SearchControl
         if (deadline_hit_.load(std::memory_order_relaxed))
             return true;
         if (has_deadline_ &&
+            // Stop timing only, never result data (see constructor).
+            // LINT-ALLOW(wall-clock): deadline poll, same seam
             std::chrono::steady_clock::now() >= deadline_) {
             deadline_hit_.store(true, std::memory_order_relaxed);
             return true;

@@ -186,7 +186,7 @@ SearchService::submit(const std::string &line,
     }
 
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (!stopping_.load(std::memory_order_relaxed)) {
             if (queue_.size() >= size_t(config_.max_queue)) {
                 lock.unlock();
@@ -217,8 +217,8 @@ SearchService::workerLoop()
     for (;;) {
         Job job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [this] {
+            util::MutexLock lock(mutex_);
+            lock.wait(work_cv_, [this]() REQUIRES(mutex_) {
                 return stopping_.load(std::memory_order_relaxed) ||
                        !queue_.empty();
             });
@@ -242,7 +242,7 @@ SearchService::workerLoop()
                     tracer.sinceEpochNs(dequeued));
         runJob(job);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             --active_;
         }
         idle_cv_.notify_all();
@@ -276,7 +276,7 @@ SearchService::runJob(Job &job)
         (void)job.sink->send(
                 errorFrame(job.req.id, errc::shutdown, message));
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             Endpoint &ep = endpoints_["search"];
             ++ep.requests;
             ++ep.errors;
@@ -314,7 +314,7 @@ SearchService::replyError(const std::string &endpoint,
 {
     (void)sink.send(errorFrame(id, code, message));
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         Endpoint &ep = endpoints_[endpoint];
         ++ep.requests;
         ++ep.errors;
@@ -329,7 +329,7 @@ void
 SearchService::accountRequest(const std::string &endpoint,
                               double seconds)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     Endpoint &ep = endpoints_[endpoint];
     ++ep.requests;
     pushTime(ep, seconds);
@@ -351,7 +351,7 @@ SearchService::pushTime(Endpoint &ep, double seconds)
 void
 SearchService::appendRecord(RequestRecord record)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     history_.push_back(std::move(record));
     while (history_.size() > size_t(config_.stats_window))
         history_.pop_front();
@@ -360,16 +360,17 @@ SearchService::appendRecord(RequestRecord record)
 void
 SearchService::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock,
-            [this] { return queue_.empty() && active_ == 0; });
+    util::MutexLock lock(mutex_);
+    lock.wait(idle_cv_, [this]() REQUIRES(mutex_) {
+        return queue_.empty() && active_ == 0;
+    });
 }
 
 void
 SearchService::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (joined_)
             return;
         joined_ = true;
@@ -384,7 +385,7 @@ SearchService::shutdown()
 std::vector<EndpointStats>
 SearchService::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     std::vector<EndpointStats> out;
     out.reserve(endpoints_.size());
     for (const auto &[name, ep] : endpoints_) {
@@ -402,7 +403,7 @@ SearchService::stats() const
 std::vector<RequestRecord>
 SearchService::history() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return {history_.begin(), history_.end()};
 }
 

@@ -38,13 +38,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/endpoint_stats.hh"
 #include "service/wire.hh"
+#include "util/thread_annotations.hh"
 
 namespace dosa::service {
 
@@ -123,26 +123,26 @@ class SearchService
      * terminal frame attempt on `sink`, whatever happens.
      */
     void submit(const std::string &line,
-                std::shared_ptr<FrameSink> sink);
+                std::shared_ptr<FrameSink> sink) EXCLUDES(mutex_);
 
     /** Block until the queue is empty and all workers are idle. */
-    void drain();
+    void drain() EXCLUDES(mutex_);
 
     /**
      * Stop the service: reject new submissions, flush queued
      * requests with `shutdown` errors, cancel running searches
      * (within one sample) and join the workers. Idempotent.
      */
-    void shutdown();
+    void shutdown() EXCLUDES(mutex_);
 
     /**
      * Per-endpoint statistics snapshot, sorted by endpoint name.
      * Always lists all four endpoints, counted-into or not.
      */
-    std::vector<EndpointStats> stats() const;
+    std::vector<EndpointStats> stats() const EXCLUDES(mutex_);
 
     /** Completed-request log, in completion order. */
-    std::vector<RequestRecord> history() const;
+    std::vector<RequestRecord> history() const EXCLUDES(mutex_);
 
     const ServiceConfig &config() const { return config_; }
 
@@ -167,31 +167,36 @@ class SearchService
         size_t times_next = 0;
     };
 
-    void workerLoop();
-    void runJob(Job &job);
+    void workerLoop() EXCLUDES(mutex_);
+    void runJob(Job &job) EXCLUDES(mutex_);
 
-    /** Reply with an error frame and account it (locks internally). */
+    /**
+     * Reply with an error frame and account it (locks internally).
+     * EXCLUDES enforces the "never hold the mutex across a send"
+     * contract at compile time: a sink may block on backpressure.
+     */
     void replyError(const std::string &endpoint, const std::string &id,
                     const std::string &code, const std::string &message,
-                    FrameSink &sink, double seconds);
+                    FrameSink &sink, double seconds) EXCLUDES(mutex_);
 
     /** Count one successful request and its processing time. */
-    void accountRequest(const std::string &endpoint, double seconds);
-    void appendRecord(RequestRecord record);
-    /** Push into an endpoint's bounded ring (mutex_ must be held). */
-    void pushTime(Endpoint &ep, double seconds);
+    void accountRequest(const std::string &endpoint, double seconds)
+            EXCLUDES(mutex_);
+    void appendRecord(RequestRecord record) EXCLUDES(mutex_);
+    /** Push into an endpoint's bounded ring. */
+    void pushTime(Endpoint &ep, double seconds) REQUIRES(mutex_);
 
     ServiceConfig config_;
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     std::condition_variable work_cv_; ///< queue / stopping changes
     std::condition_variable idle_cv_; ///< drain wakeups
-    std::deque<Job> queue_;
-    int active_ = 0;
+    std::deque<Job> queue_ GUARDED_BY(mutex_);
+    int active_ GUARDED_BY(mutex_) = 0;
     std::atomic<bool> stopping_{false};
-    bool joined_ = false;
-    std::map<std::string, Endpoint> endpoints_;
+    bool joined_ GUARDED_BY(mutex_) = false;
+    std::map<std::string, Endpoint> endpoints_ GUARDED_BY(mutex_);
     /** Completed-request log, bounded to config.stats_window. */
-    std::deque<RequestRecord> history_;
+    std::deque<RequestRecord> history_ GUARDED_BY(mutex_);
     std::vector<std::thread> workers_;
 };
 

@@ -7,7 +7,8 @@
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
+
+#include "util/thread_annotations.hh"
 
 namespace dosa::service {
 
@@ -29,8 +30,8 @@ class BusSink : public FrameSink
     bool
     send(const std::string &frame) override
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [this] {
+        util::MutexLock lock(mutex_);
+        lock.wait(not_full_, [this]() REQUIRES(mutex_) {
             return closed_ || frames_.size() < capacity_;
         });
         if (closed_)
@@ -44,9 +45,10 @@ class BusSink : public FrameSink
     bool
     receive(std::string &frame)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock,
-                [this] { return closed_ || !frames_.empty(); });
+        util::MutexLock lock(mutex_);
+        lock.wait(not_empty_, [this]() REQUIRES(mutex_) {
+            return closed_ || !frames_.empty();
+        });
         if (closed_)
             return false;
         frame = std::move(frames_.front());
@@ -60,7 +62,7 @@ class BusSink : public FrameSink
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            util::MutexLock lock(mutex_);
             closed_ = true;
         }
         not_full_.notify_all();
@@ -69,11 +71,11 @@ class BusSink : public FrameSink
 
   private:
     const size_t capacity_;
-    std::mutex mutex_;
+    util::Mutex mutex_;
     std::condition_variable not_full_;
     std::condition_variable not_empty_;
-    std::deque<std::string> frames_;
-    bool closed_ = false;
+    std::deque<std::string> frames_ GUARDED_BY(mutex_);
+    bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace detail

@@ -12,11 +12,33 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace dosa::service {
 
 namespace {
+
+/**
+ * Thread-safe errno formatter: `std::strerror` returns a pointer to
+ * an internal buffer that another thread's call may rewrite
+ * (concurrency-mt-unsafe), and the reader threads here really do
+ * race. Uses the POSIX `strerror_r` into a local buffer instead.
+ */
+std::string
+errnoString(int err)
+{
+    char buf[256];
+    buf[0] = '\0';
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+    // GNU strerror_r returns the message pointer (maybe not buf).
+    return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+    if (strerror_r(err, buf, sizeof(buf)) != 0)
+        std::snprintf(buf, sizeof(buf), "errno %d", err);
+    return std::string(buf);
+#endif
+}
 
 /** Write all of `data` to `fd`; false on any error. */
 bool
@@ -48,7 +70,7 @@ class SocketSink : public FrameSink
     bool
     send(const std::string &frame) override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (closed_)
             return false;
         if (!writeAll(fd_, frame.data(), frame.size()) ||
@@ -63,14 +85,14 @@ class SocketSink : public FrameSink
     void
     markClosed()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         closed_ = true;
     }
 
   private:
     const int fd_;
-    std::mutex mutex_;
-    bool closed_ = false;
+    util::Mutex mutex_;
+    bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace
@@ -97,7 +119,7 @@ TcpServer::start(std::string &error)
 {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) {
-        error = std::string("socket: ") + std::strerror(errno);
+        error = std::string("socket: ") + errnoString(errno);
         return false;
     }
     int one = 1;
@@ -110,13 +132,13 @@ TcpServer::start(std::string &error)
     addr.sin_port = htons(port_);
     if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
                 sizeof(addr)) < 0) {
-        error = std::string("bind: ") + std::strerror(errno);
+        error = std::string("bind: ") + errnoString(errno);
         ::close(listen_fd_);
         listen_fd_ = -1;
         return false;
     }
     if (::listen(listen_fd_, 16) < 0) {
-        error = std::string("listen: ") + std::strerror(errno);
+        error = std::string("listen: ") + errnoString(errno);
         ::close(listen_fd_);
         listen_fd_ = -1;
         return false;
@@ -151,7 +173,7 @@ TcpServer::acceptLoop()
         conn->fd = fd;
         conn->sink = std::make_shared<SocketSink>(fd);
         {
-            std::lock_guard<std::mutex> lock(conns_mutex_);
+            util::MutexLock lock(conns_mutex_);
             conns_.push_back(conn);
         }
         conn->reader =
@@ -195,7 +217,7 @@ TcpServer::reapFinished()
 {
     std::vector<std::shared_ptr<Connection>> finished;
     {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
+        util::MutexLock lock(conns_mutex_);
         for (size_t i = 0; i < conns_.size();) {
             if (conns_[i]->done.load(std::memory_order_acquire)) {
                 finished.push_back(std::move(conns_[i]));
@@ -237,7 +259,7 @@ TcpServer::stop()
 
     std::vector<std::shared_ptr<Connection>> conns;
     {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
+        util::MutexLock lock(conns_mutex_);
         conns.swap(conns_);
     }
     for (auto &conn : conns) {
@@ -263,7 +285,7 @@ TcpClient::connect(const std::string &host, uint16_t port,
     close();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
-        error = std::string("socket: ") + std::strerror(errno);
+        error = std::string("socket: ") + errnoString(errno);
         return false;
     }
     sockaddr_in addr{};
@@ -276,7 +298,7 @@ TcpClient::connect(const std::string &host, uint16_t port,
     }
     if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
                 sizeof(addr)) < 0) {
-        error = std::string("connect: ") + std::strerror(errno);
+        error = std::string("connect: ") + errnoString(errno);
         close();
         return false;
     }

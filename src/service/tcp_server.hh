@@ -23,12 +23,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/search_service.hh"
+#include "util/thread_annotations.hh"
 
 namespace dosa::service {
 
@@ -69,17 +69,19 @@ class TcpServer
   private:
     struct Connection;
 
-    void acceptLoop();
+    void acceptLoop() EXCLUDES(conns_mutex_);
     void readerLoop(std::shared_ptr<Connection> conn);
-    void reapFinished();
+    void reapFinished() EXCLUDES(conns_mutex_);
 
     SearchService &service_;
     uint16_t port_;
     int listen_fd_ = -1;
     std::atomic<bool> running_{false};
     std::thread accept_thread_;
-    std::mutex conns_mutex_;
-    std::vector<std::shared_ptr<Connection>> conns_;
+    util::Mutex conns_mutex_;
+    /** Live connections; readers join outside the lock (reap/stop). */
+    std::vector<std::shared_ptr<Connection>> conns_
+            GUARDED_BY(conns_mutex_);
 };
 
 /** Blocking line-framed client for `TcpServer`. */

@@ -85,7 +85,7 @@ std::string encodePingRequest(const std::string &id);
  * string `id`, that id is recovered into `out.id` so the error
  * reply can still be correlated (otherwise `out.id` is empty).
  */
-bool decodeRequest(std::string_view line, Request &out,
+[[nodiscard]] bool decodeRequest(std::string_view line, Request &out,
                    std::string &error);
 
 /** One decoded reply frame. */

@@ -7,12 +7,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <mutex>
 #include <unordered_map>
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_annotations.hh"
 
 namespace dosa {
 
@@ -46,11 +46,12 @@ struct DivisorMemo
 
     struct Shard
     {
-        std::mutex mtx;
-        std::unordered_map<int64_t, std::vector<int64_t>> map;
-        // Guarded by mtx (no atomics needed; summed by stats()).
-        uint64_t hits = 0;
-        uint64_t misses = 0;
+        util::Mutex mtx;
+        std::unordered_map<int64_t, std::vector<int64_t>> map
+                GUARDED_BY(mtx);
+        // No atomics needed; summed by stats() under the same lock.
+        uint64_t hits GUARDED_BY(mtx) = 0;
+        uint64_t misses GUARDED_BY(mtx) = 0;
     };
 
     std::array<Shard, kNumShards> shards;
@@ -63,7 +64,7 @@ struct DivisorMemo
         // layers all to one shard.
         uint64_t h = static_cast<uint64_t>(n) * 0xbf58476d1ce4e5b9ull;
         Shard &shard = shards[(h >> 32) & (kNumShards - 1)];
-        std::lock_guard<std::mutex> lock(shard.mtx);
+        util::MutexLock lock(shard.mtx);
         auto it = shard.map.find(n);
         if (it == shard.map.end()) {
             shard.misses++;
@@ -79,7 +80,7 @@ struct DivisorMemo
     {
         DivisorMemoStats s;
         for (Shard &shard : shards) {
-            std::lock_guard<std::mutex> lock(shard.mtx);
+            util::MutexLock lock(shard.mtx);
             s.hits += shard.hits;
             s.misses += shard.misses;
             s.entries += shard.map.size();

@@ -144,7 +144,8 @@ class Value
  * errors, trailing garbage, duplicate object keys, nesting deeper
  * than 64 levels. Never crashes, whatever the input.
  */
-bool parse(std::string_view text, Value &out, std::string &error);
+[[nodiscard]] bool parse(std::string_view text, Value &out,
+                         std::string &error);
 
 /**
  * Strict member-by-member object decoder: a caller reads each known
@@ -164,13 +165,13 @@ class ObjectReader
                  std::string &error);
 
     /** False after any failed read (the first error is kept). */
-    bool ok() const { return ok_; }
+    [[nodiscard]] bool ok() const { return ok_; }
 
     /** Record a failure at this reader's path; returns false. */
     bool fail(const std::string &msg);
 
     /** Member named `key`, marking it consumed; null when absent. */
-    const Value *consume(const char *key);
+    [[nodiscard]] const Value *consume(const char *key);
 
     bool readInt(const char *key, int64_t &out);
     bool readUint(const char *key, uint64_t &out);
@@ -179,7 +180,7 @@ class ObjectReader
     bool readString(const char *key, std::string &out);
 
     /** Reject members no reader consumed (unknown-key strictness). */
-    bool finish();
+    [[nodiscard]] bool finish();
 
     const std::string &path() const { return path_; }
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis for the whole tree: portable
+ * capability-annotation macros plus the annotated `Mutex` /
+ * `MutexLock` wrappers every mutex-guarded subsystem uses.
+ *
+ * The annotations turn the repo's two load-bearing concurrency
+ * contracts into compile-time checks on every Clang build
+ * (`-Wthread-safety`, promoted to an error by the build):
+ *
+ * - *Lock discipline.* State declared `GUARDED_BY(mtx)` cannot be
+ *   touched unless the analysis can prove `mtx` is held; helpers
+ *   that assume a held lock say so with `REQUIRES(mtx)`.
+ * - *Never hold a lock across a blocking call.* Functions that must
+ *   run lock-free (everything that reaches `FrameSink::send`) are
+ *   annotated `EXCLUDES(mtx)`, so re-introducing a
+ *   mutex-held-across-send deadlock fails the build instead of
+ *   hanging a service under backpressure.
+ *
+ * The macros expand to nothing on GCC/MSVC, so non-Clang builds are
+ * byte-identical; the wrappers add zero overhead over the std types
+ * they delegate to. TSan remains the *dynamic* complement (see
+ * docs/ARCHITECTURE.md "Static analysis" for how the two divide the
+ * work).
+ *
+ * Idiom (matches the LLVM/Abseil convention the macros come from):
+ *
+ *     class Table {
+ *         util::Mutex mtx_;
+ *         std::map<K, V> map_ GUARDED_BY(mtx_);
+ *
+ *         void insert(K k, V v) EXCLUDES(mtx_) {
+ *             util::MutexLock lock(mtx_);
+ *             map_[k] = v;
+ *         }
+ *     };
+ */
+
+#ifndef DOSA_UTIL_THREAD_ANNOTATIONS_HH
+#define DOSA_UTIL_THREAD_ANNOTATIONS_HH
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute shims: real Clang attributes under Clang, no-ops elsewhere.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define DOSA_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DOSA_THREAD_ANNOTATION__(x) // no-op off Clang
+#endif
+
+/** Marks a class as a lockable capability ("mutex"). */
+#define CAPABILITY(x) DOSA_THREAD_ANNOTATION__(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define SCOPED_CAPABILITY DOSA_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Data member readable/writable only with the capability held. */
+#define GUARDED_BY(x) DOSA_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by the capability. */
+#define PT_GUARDED_BY(x) DOSA_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Function precondition: the listed capabilities are held. */
+#define REQUIRES(...) \
+    DOSA_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Function precondition: the capabilities are held shared. */
+#define REQUIRES_SHARED(...) \
+    DOSA_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capabilities (held on return). */
+#define ACQUIRE(...) \
+    DOSA_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capabilities (held on entry). */
+#define RELEASE(...) \
+    DOSA_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Function conditionally acquires: first arg is the success value. */
+#define TRY_ACQUIRE(...) \
+    DOSA_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/**
+ * Function must be entered with the capabilities NOT held — the
+ * deadlock (re-entrancy) and the lock-held-across-blocking-call
+ * annotation. Anything reaching `FrameSink::send` carries this.
+ */
+#define EXCLUDES(...) \
+    DOSA_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime, to the analysis) the capability is held. */
+#define ASSERT_CAPABILITY(x) \
+    DOSA_THREAD_ANNOTATION__(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define RETURN_CAPABILITY(x) DOSA_THREAD_ANNOTATION__(lock_returned(x))
+
+/** Escape hatch; every use needs a comment saying why. */
+#define NO_THREAD_SAFETY_ANALYSIS \
+    DOSA_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace dosa::util {
+
+// ---------------------------------------------------------------------------
+// Annotated wrappers over std::mutex / std::lock_guard / std::unique_lock.
+// ---------------------------------------------------------------------------
+
+/**
+ * `std::mutex` as an annotated capability. Zero overhead: the
+ * wrapper holds exactly one std::mutex and every method is an inline
+ * delegate. `native()` exposes the underlying std::mutex for the few
+ * APIs that demand one (never lock through it directly — the
+ * analysis cannot see such acquisitions).
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mtx_.lock(); }
+    void unlock() RELEASE() { mtx_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mtx_.try_lock(); }
+
+    /** The wrapped std::mutex (for std APIs that require one). */
+    std::mutex &native() { return mtx_; }
+
+  private:
+    std::mutex mtx_;
+};
+
+/**
+ * Scoped lock over a `Mutex`, visible to the analysis: acquires in
+ * the constructor, releases in the destructor. Backed by a
+ * `std::unique_lock`, so it also supports the two patterns a plain
+ * lock_guard cannot:
+ *
+ * - *Early release before a blocking call* — `lock.unlock()` (and
+ *   re-acquisition with `lock.lock()`); the analysis tracks the
+ *   held/released state across both.
+ * - *Condition-variable waits* — `lock.wait(cv, pred)` keeps the
+ *   capability held across the wait from the analysis's point of
+ *   view, which matches the caller-visible contract (the predicate
+ *   and the code after the wait run with the lock held).
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mtx) ACQUIRE(mtx) : lock_(mtx.native()) {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    ~MutexLock() RELEASE() {} // the unique_lock member unlocks
+
+    /** Release early (before a blocking call / notify). */
+    void unlock() RELEASE() { lock_.unlock(); }
+
+    /** Re-acquire after an early release. */
+    void lock() ACQUIRE() { lock_.lock(); }
+
+    /** Block on `cv` until `pred()`; lock held when it returns. */
+    template <class Pred>
+    void
+    wait(std::condition_variable &cv, Pred &&pred)
+    {
+        cv.wait(lock_, static_cast<Pred &&>(pred));
+    }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace dosa::util
+
+#endif // DOSA_UTIL_THREAD_ANNOTATIONS_HH

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/thread_annotations.hh"
 #include "workload/llm_zoo.hh"
 #include "workload/model_zoo.hh"
 
@@ -25,19 +26,19 @@ namespace {
  * `find()` hands out survive later registrations; an entry is never
  * mutated after it lands.
  */
-std::vector<std::unique_ptr<Network>> &
-registryStorage()
+struct Registry
 {
-    static std::vector<std::unique_ptr<Network>> registry;
-    return registry;
-}
+    util::Mutex mtx;
+    std::vector<std::unique_ptr<Network>> entries GUARDED_BY(mtx);
+};
 
-/** Registration order is deterministic; guard only against races. */
-std::mutex &
-registryMutex()
+/** Registration order is deterministic; the mutex guards only
+ *  against concurrent registration/lookup races. */
+Registry &
+registry()
 {
-    static std::mutex mtx;
-    return mtx;
+    static Registry r;
+    return r;
 }
 
 void
@@ -144,9 +145,9 @@ detail::appendWorkload(Network net)
     if (const char *msg = checkNetwork(net))
         panic(std::string("Workloads::registerWorkload: ") + msg +
               " (workload \"" + net.name + "\")");
-    std::lock_guard<std::mutex> lock(registryMutex());
-    registryStorage().push_back(
-            std::make_unique<Network>(std::move(net)));
+    Registry &r = registry();
+    util::MutexLock lock(r.mtx);
+    r.entries.push_back(std::make_unique<Network>(std::move(net)));
 }
 
 void
@@ -182,10 +183,10 @@ const Network *
 Workloads::find(std::string_view name)
 {
     ensureBuiltins();
-    std::lock_guard<std::mutex> lock(registryMutex());
-    const auto &registry = registryStorage();
+    Registry &r = registry();
+    util::MutexLock lock(r.mtx);
     // Latest registration wins, so callers can shadow a builtin.
-    for (auto it = registry.rbegin(); it != registry.rend(); ++it)
+    for (auto it = r.entries.rbegin(); it != r.entries.rend(); ++it)
         if (name == (*it)->name)
             return it->get();
     return nullptr;
@@ -195,9 +196,10 @@ std::vector<std::string>
 Workloads::names()
 {
     ensureBuiltins();
-    std::lock_guard<std::mutex> lock(registryMutex());
+    Registry &r = registry();
+    util::MutexLock lock(r.mtx);
     std::vector<std::string> names;
-    for (const auto &net : registryStorage())
+    for (const auto &net : r.entries)
         if (std::find(names.begin(), names.end(), net->name) ==
             names.end())
             names.push_back(net->name);

@@ -96,7 +96,7 @@ std::string workloadFileText(const Network &net);
  * left in an unspecified state on failure. A decoded workload always
  * satisfies `Workloads::registerWorkload`'s preconditions.
  */
-bool workloadFromJson(const json::Value &value, Network &out,
+[[nodiscard]] bool workloadFromJson(const json::Value &value, Network &out,
                       std::string &error);
 
 /**
@@ -111,7 +111,7 @@ Network mustWorkloadFromJson(std::string_view text);
  * format errors. Does not register the result — pair with
  * `Workloads::registerWorkload` to make it name-addressable.
  */
-bool loadWorkloadFile(const std::string &path, Network &out,
+[[nodiscard]] bool loadWorkloadFile(const std::string &path, Network &out,
                       std::string &error);
 
 namespace detail {

@@ -1,0 +1,25 @@
+// Fixture: LINT-ALLOW handling.
+#include <cstdlib>
+
+int a()
+{
+    return std::rand(); // LINT-ALLOW(raw-rng): fixture same-line allow
+}
+
+int b()
+{
+    // LINT-ALLOW(raw-rng): fixture preceding-line allow
+    return std::rand();
+}
+
+int c()
+{
+    return std::rand(); // LINT-ALLOW(raw-rng):
+}
+
+// LINT-ALLOW(no-such-rule): bogus rule name
+// LINT-ALLOW(wall-clock): nothing on the next line reads a clock
+int d()
+{
+    return 0;
+}

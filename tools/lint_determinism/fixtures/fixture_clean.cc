@@ -1,0 +1,12 @@
+// Fixture: mentions of rand() and clocks in comments and strings
+// must not trip the scanner.
+#include <string>
+
+/* block comment: srand(1); std::random_device; steady_clock::now() */
+std::string docs()
+{
+    std::string s = "call rand() then time(nullptr)";
+    s += 'x';
+    const char *raw = R"(unordered_map<int,int> and gettimeofday)";
+    return s + raw; // rand(), clock_gettime in a line comment
+}

@@ -1,0 +1,11 @@
+// Fixture: every raw-RNG spelling the raw-rng rule must catch.
+#include <cstdlib>
+
+int noise()
+{
+    std::srand(42);
+    int a = std::rand();
+    std::random_device rd;
+    double d = drand48();
+    return a + int(rd()) + int(d);
+}

@@ -1,0 +1,13 @@
+// Fixture: unordered containers in result-path code.
+#include <unordered_map>
+#include <unordered_set>
+
+int tally()
+{
+    std::unordered_map<int, int> counts;
+    std::unordered_set<int> seen;
+    int sum = 0;
+    for (auto &kv : counts)
+        sum += kv.second;
+    return sum + int(seen.size());
+}

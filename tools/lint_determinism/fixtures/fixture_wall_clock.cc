@@ -1,0 +1,13 @@
+// Fixture: wall-clock reads the wall-clock rule must catch.
+#include <chrono>
+#include <ctime>
+
+long stamps()
+{
+    auto a = std::chrono::steady_clock::now();
+    auto b = std::chrono::system_clock::now();
+    auto c = std::chrono::high_resolution_clock::now();
+    std::time_t t = time(nullptr);
+    return a.time_since_epoch().count() + b.time_since_epoch().count() +
+           c.time_since_epoch().count() + long(t);
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CLI for the determinism linter. Usage:
+ *
+ *     lint_determinism --root <repo-root> <subdir-or-file>...
+ *     lint_determinism --list-rules
+ *
+ * Prints one `file:line: [rule] message` per finding and exits 1
+ * when there are any, 0 on a clean tree, 2 on usage or I/O errors —
+ * the contract the CTest entry and the CI job depend on.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_determinism/lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root;
+    std::vector<std::string> subdirs;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &name : dosa::lint::ruleNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--root needs a directory\n");
+                return 2;
+            }
+            root = argv[++i];
+            continue;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: lint_determinism --root DIR "
+                        "SUBDIR...\n       lint_determinism "
+                        "--list-rules\n");
+            return 0;
+        }
+        subdirs.push_back(std::move(arg));
+    }
+    if (root.empty() || subdirs.empty()) {
+        std::fprintf(stderr, "usage: lint_determinism --root DIR "
+                             "SUBDIR...\n");
+        return 2;
+    }
+
+    std::vector<dosa::lint::Finding> findings;
+    std::string error;
+    if (!dosa::lint::lintTree(root, subdirs, findings, error)) {
+        std::fprintf(stderr, "lint_determinism: %s\n", error.c_str());
+        return 2;
+    }
+    for (const dosa::lint::Finding &finding : findings)
+        std::printf("%s\n",
+                    dosa::lint::formatFinding(finding).c_str());
+    if (!findings.empty()) {
+        std::fprintf(stderr,
+                     "lint_determinism: %zu finding(s); suppress a "
+                     "justified exception with "
+                     "`// LINT-ALLOW(rule): why`\n",
+                     findings.size());
+        return 1;
+    }
+    return 0;
+}
